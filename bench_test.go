@@ -1,0 +1,237 @@
+package tdb
+
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (one benchmark per artifact, backed by internal/exp at a reduced "bench"
+// scale so `go test -bench=.` completes in minutes), plus micro-benchmarks
+// for the primitives the paper's speedups come from. cmd/tdbbench runs the
+// same experiments at the full harness scale.
+
+import (
+	"testing"
+	"time"
+
+	"tdb/internal/core"
+	"tdb/internal/cycle"
+	"tdb/internal/exp"
+	"tdb/internal/gen"
+)
+
+// benchConfig is small enough for repeated timing runs but large enough
+// that algorithmic differences dominate constant overheads.
+func benchConfig() exp.Config {
+	c := exp.QuickConfig()
+	c.Scale = 0.005
+	c.SweepScale = 0.005
+	c.LargeEdges = 20_000
+	c.KMax = 5
+	c.Timeout = 2 * time.Second
+	return c
+}
+
+func runExp(b *testing.B, id string) {
+	b.Helper()
+	cfg := benchConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := exp.Run(id, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2Datasets regenerates the dataset statistics table.
+func BenchmarkTable2Datasets(b *testing.B) { runExp(b, "table2") }
+
+// BenchmarkTable3 regenerates the paper's Table III: DARC-DV vs BUR+ vs
+// TDB++ at k=5 over all 16 dataset stand-ins.
+func BenchmarkTable3(b *testing.B) { runExp(b, "table3") }
+
+// BenchmarkTable4 regenerates the paper's Table IV: TDB++ with and without
+// 2-cycles.
+func BenchmarkTable4(b *testing.B) { runExp(b, "table4") }
+
+// BenchmarkFig6 and BenchmarkFig7 regenerate the k-sweep figures (they
+// share one sweep; both tables are produced by either ID).
+func BenchmarkFig6(b *testing.B) { runExp(b, "fig6") }
+
+// BenchmarkFig7 regenerates the cover-size k-sweep (paper Fig. 7).
+func BenchmarkFig7(b *testing.B) { runExp(b, "fig7") }
+
+// BenchmarkFig8 regenerates BUR vs BUR+ runtime/size (paper Fig. 8/9).
+func BenchmarkFig8(b *testing.B) { runExp(b, "fig8") }
+
+// BenchmarkFig9 regenerates the same sweep keyed by its size table.
+func BenchmarkFig9(b *testing.B) { runExp(b, "fig9") }
+
+// BenchmarkFig10 regenerates the top-down ablation TDB/TDB+/TDB++.
+func BenchmarkFig10(b *testing.B) { runExp(b, "fig10") }
+
+// BenchmarkAblationOrder regenerates the candidate-order ablation (A1).
+func BenchmarkAblationOrder(b *testing.B) { runExp(b, "order") }
+
+// BenchmarkAblationSCC regenerates the SCC-prefilter ablation (A2).
+func BenchmarkAblationSCC(b *testing.B) { runExp(b, "scc") }
+
+// BenchmarkNoHop regenerates the unconstrained-variant experiment.
+func BenchmarkNoHop(b *testing.B) { runExp(b, "nohop") }
+
+// ---- algorithm-level benchmarks (fixed mid-size workload) ----
+
+func benchGraph() *Graph {
+	d, _ := gen.DatasetByName("WKV")
+	return d.Generate(0.2) // n=1400, m~20k
+}
+
+func benchCover(b *testing.B, algo Algorithm, k int) {
+	b.Helper()
+	g := benchGraph()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := CoverWith(g, algo, k, &Options{Order: OrderDegreeAsc})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if res.Stats.TimedOut {
+			b.Fatal("unexpected timeout")
+		}
+	}
+}
+
+func BenchmarkCoverTDB(b *testing.B)         { benchCover(b, TDB, 5) }
+func BenchmarkCoverTDBPlus(b *testing.B)     { benchCover(b, TDBPlus, 5) }
+func BenchmarkCoverTDBPlusPlus(b *testing.B) { benchCover(b, TDBPlusPlus, 5) }
+func BenchmarkCoverBUR(b *testing.B)         { benchCover(b, BUR, 5) }
+func BenchmarkCoverBURPlus(b *testing.B)     { benchCover(b, BURPlus, 5) }
+func BenchmarkCoverDARCDV(b *testing.B)      { benchCover(b, DARCDV, 4) }
+
+// ---- primitive-level benchmarks ----
+
+// BenchmarkBlockDetector measures the paper's O(km) NodeNecessary query.
+func BenchmarkBlockDetector(b *testing.B) {
+	g := benchGraph()
+	det := cycle.NewBlockDetector(g, 5, 3, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.HasCycleThrough(VID(i % g.NumVertices()))
+	}
+}
+
+// BenchmarkPlainDetector measures the unbounded-worst-case DFS detector.
+func BenchmarkPlainDetector(b *testing.B) {
+	g := benchGraph()
+	det := cycle.NewPlainDetector(g, 5, 3, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		det.HasCycleThrough(VID(i % g.NumVertices()))
+	}
+}
+
+// BenchmarkBFSFilter measures the linear pruning filter.
+func BenchmarkBFSFilter(b *testing.B) {
+	g := benchGraph()
+	f := cycle.NewBFSFilter(g, 5, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		f.CanPrune(VID(i % g.NumVertices()))
+	}
+}
+
+// BenchmarkCSRBuild measures graph construction from an edge stream.
+func BenchmarkCSRBuild(b *testing.B) {
+	edges := benchGraph().Edges()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		FromEdges(0, edges)
+	}
+}
+
+// BenchmarkVerifyParallel measures the parallel validity checker used by
+// tdbverify on large covers.
+func BenchmarkVerifyParallel(b *testing.B) {
+	g := benchGraph()
+	res, err := Cover(g, 5, &Options{Order: OrderDegreeAsc})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rep := Verify(g, 5, 3, res.Cover, false)
+		if !rep.Valid {
+			b.Fatal("invalid cover")
+		}
+	}
+}
+
+// BenchmarkUnconstrained measures the k=n variant (paper Sec. VI-C).
+func BenchmarkUnconstrained(b *testing.B) {
+	d, _ := gen.DatasetByName("GNU")
+	g := d.Generate(0.02)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CoverAllCycles(g, &Options{Order: OrderDegreeAsc}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDARCEdges measures the raw edge-transversal baseline.
+func BenchmarkDARCEdges(b *testing.B) {
+	d, _ := gen.DatasetByName("GNU")
+	g := d.Generate(0.02)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, complete := core.DARCEdges(g, 4, 3, nil); !complete {
+			b.Fatal("unexpected timeout")
+		}
+	}
+}
+
+// BenchmarkTDBEdges measures the top-down edge transversal on the same
+// workload as BenchmarkDARCEdges — the ablation showing the paper's
+// inversion also wins on DARC's native (edge) problem.
+func BenchmarkTDBEdges(b *testing.B) {
+	d, _ := gen.DatasetByName("GNU")
+	g := d.Generate(0.02)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CoverEdges(g, 4, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoverParallel measures the SCC-partitioned parallel solver on a
+// many-component workload (its best case).
+func BenchmarkCoverParallel(b *testing.B) {
+	g := GenPlantedCycles(30_000, 400, 3, 6, 40_000, 5).Graph
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := CoverParallel(g, TDBPlusPlus, 6, nil, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCoverSequentialManyComponents is the sequential baseline for
+// BenchmarkCoverParallel.
+func BenchmarkCoverSequentialManyComponents(b *testing.B) {
+	g := GenPlantedCycles(30_000, 400, 3, 6, 40_000, 5).Graph
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Cover(g, 6, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMaintainerInsert measures amortized dynamic insertion cost with
+// cover maintenance (the incremental alternative to recomputation).
+func BenchmarkMaintainerInsert(b *testing.B) {
+	const n = 10_000
+	m := NewMaintainer(n, 5, 3)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		u := VID(i*2654435761) % n
+		v := VID(i*40503+1) % n
+		m.InsertEdge(u, v)
+	}
+}

@@ -1,0 +1,126 @@
+// Command tdb computes a hop-constrained cycle cover of a directed graph.
+//
+// Usage:
+//
+//	tdb -graph g.txt -k 5 [-algo TDB++] [-minlen 3] [-order natural]
+//	    [-scc] [-timeout 60s] [-out cover.txt] [-verify]
+//
+// The graph file is a SNAP-style text edge list ("u v" per line, '#'
+// comments) or the binary format for ".bin" paths. The cover is written one
+// vertex ID per line.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"tdb/internal/core"
+	"tdb/internal/digraph"
+	"tdb/internal/verify"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "tdb:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("tdb", flag.ContinueOnError)
+	var (
+		graphPath = fs.String("graph", "", "input graph file (required)")
+		k         = fs.Int("k", 5, "hop constraint: cover cycles of length minlen..k")
+		algoName  = fs.String("algo", "TDB++", "algorithm: BUR, BUR+, TDB, TDB+, TDB++ or DARC-DV")
+		minLen    = fs.Int("minlen", 3, "minimum cycle length (2 includes 2-cycles)")
+		orderName = fs.String("order", "natural", "candidate order: natural, degree-asc, degree-desc, random")
+		seed      = fs.Uint64("seed", 0, "seed for -order random")
+		sccPre    = fs.Bool("scc", false, "enable the SCC prefilter")
+		timeout   = fs.Duration("timeout", 0, "abort after this duration (0 = unlimited)")
+		outPath   = fs.String("out", "", "write the cover here (default stdout)")
+		doVerify  = fs.Bool("verify", false, "verify validity and minimality of the result")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *graphPath == "" {
+		fs.Usage()
+		return fmt.Errorf("-graph is required")
+	}
+	algo, err := core.ParseAlgorithm(*algoName)
+	if err != nil {
+		return err
+	}
+	order, err := parseOrder(*orderName)
+	if err != nil {
+		return err
+	}
+
+	g, err := digraph.LoadFile(*graphPath)
+	if err != nil {
+		return fmt.Errorf("loading graph: %w", err)
+	}
+	fmt.Fprintf(os.Stderr, "loaded %v\n", g)
+
+	opts := core.Options{K: *k, MinLen: *minLen, Order: order, Seed: *seed, SCCPrefilter: *sccPre}
+	if *timeout > 0 {
+		deadline := time.Now().Add(*timeout)
+		opts.Cancelled = func() bool { return time.Now().After(deadline) }
+	}
+	res, err := core.Compute(g, algo, opts)
+	if err != nil {
+		return err
+	}
+	st := res.Stats
+	fmt.Fprintf(os.Stderr, "%s k=%d minlen=%d: cover=%d vertices in %v (checked=%d, filter-pruned=%d, scc-skipped=%d)\n",
+		st.Algorithm, st.K, st.MinLen, st.CoverSize, st.Duration.Round(time.Millisecond),
+		st.Checked, st.FilterPruned, st.SCCSkipped)
+	if st.TimedOut {
+		return fmt.Errorf("timed out after %v; partial cover not written", *timeout)
+	}
+
+	if *doVerify {
+		wantMinimal := algo != core.BUR && algo != core.DARCDV
+		rep := verify.Check(g, *k, *minLen, res.Cover, wantMinimal)
+		switch {
+		case !rep.Valid:
+			return fmt.Errorf("verification FAILED: surviving cycle %v", rep.Witness)
+		case wantMinimal && !rep.Minimal:
+			return fmt.Errorf("verification FAILED: redundant vertices %v", rep.Redundant)
+		default:
+			fmt.Fprintln(os.Stderr, "verification passed")
+		}
+	}
+
+	w := bufio.NewWriter(out)
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = bufio.NewWriter(f)
+	}
+	for _, v := range res.Cover {
+		fmt.Fprintln(w, v)
+	}
+	return w.Flush()
+}
+
+func parseOrder(s string) (core.Order, error) {
+	switch s {
+	case "natural":
+		return core.OrderNatural, nil
+	case "degree-asc":
+		return core.OrderDegreeAsc, nil
+	case "degree-desc":
+		return core.OrderDegreeDesc, nil
+	case "random":
+		return core.OrderRandom, nil
+	}
+	return 0, fmt.Errorf("unknown order %q", s)
+}

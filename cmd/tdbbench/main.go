@@ -1,0 +1,93 @@
+// Command tdbbench regenerates the paper's evaluation tables and figures
+// (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	tdbbench -exp table3                 # one experiment
+//	tdbbench -exp all -scale 0.05       # the full evaluation
+//	tdbbench -list                       # show available experiments
+//
+// Timed-out runs print INF, like the paper's plots. Absolute numbers are
+// not comparable with the paper (synthetic stand-in data at reduced scale,
+// Go vs C++); the shapes are.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"tdb/internal/core"
+	"tdb/internal/exp"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tdbbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	def := exp.DefaultConfig()
+	fs := flag.NewFlagSet("tdbbench", flag.ContinueOnError)
+	var (
+		expID      = fs.String("exp", "", "experiment ID, or all (required; see -list)")
+		scale      = fs.Float64("scale", def.Scale, "dataset scale for single-k experiments")
+		sweepScale = fs.Float64("sweep-scale", def.SweepScale, "dataset scale for k-sweep figures")
+		largeEdges = fs.Int("large-edges", def.LargeEdges, "edge budget for the four large datasets")
+		k          = fs.Int("k", def.K, "hop constraint for single-k experiments")
+		kmin       = fs.Int("kmin", def.KMin, "sweep lower bound")
+		kmax       = fs.Int("kmax", def.KMax, "sweep upper bound")
+		timeout    = fs.Duration("timeout", def.Timeout, "per-run timeout (INF when exceeded)")
+		orderName  = fs.String("order", "degree-asc", "top-down candidate order: natural, degree-asc, degree-desc, random")
+		doVerify   = fs.Bool("verify", false, "verify every completed cover (slow)")
+		quick      = fs.Bool("quick", false, "use the small CI configuration")
+		list       = fs.Bool("list", false, "list experiments and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Println("experiments:", strings.Join(exp.Experiments(), " "), "all")
+		return nil
+	}
+	if *expID == "" {
+		fs.Usage()
+		return fmt.Errorf("-exp is required")
+	}
+
+	cfg := exp.DefaultConfig()
+	if *quick {
+		cfg = exp.QuickConfig()
+	}
+	cfg.Scale = *scale
+	cfg.SweepScale = *sweepScale
+	cfg.LargeEdges = *largeEdges
+	cfg.K = *k
+	cfg.KMin, cfg.KMax = *kmin, *kmax
+	cfg.Timeout = *timeout
+	cfg.Verify = *doVerify
+	cfg.Out = os.Stdout
+	switch *orderName {
+	case "natural":
+		cfg.Order = core.OrderNatural
+	case "degree-asc":
+		cfg.Order = core.OrderDegreeAsc
+	case "degree-desc":
+		cfg.Order = core.OrderDegreeDesc
+	case "random":
+		cfg.Order = core.OrderRandom
+	default:
+		return fmt.Errorf("unknown order %q", *orderName)
+	}
+
+	start := time.Now()
+	if _, err := exp.Run(*expID, cfg); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "total experiment time: %v\n", time.Since(start).Round(time.Second))
+	return nil
+}

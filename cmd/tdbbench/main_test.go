@@ -1,0 +1,31 @@
+package main
+
+import (
+	"testing"
+)
+
+func TestListMode(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	cases := [][]string{
+		{},                                // missing -exp
+		{"-exp", "bogus", "-quick"},       // unknown experiment
+		{"-exp", "table4", "-order", "x"}, // bad order
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("case %d (%v): expected error", i, args)
+		}
+	}
+}
+
+func TestQuickNohop(t *testing.T) {
+	// The smallest real experiment end to end through the CLI layer.
+	if err := run([]string{"-exp", "nohop", "-quick", "-order", "natural"}); err != nil {
+		t.Fatal(err)
+	}
+}

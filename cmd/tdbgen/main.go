@@ -1,0 +1,96 @@
+// Command tdbgen generates the synthetic graphs used throughout this
+// repository and writes them in the text or binary edge-list format.
+//
+// Usage:
+//
+//	tdbgen -model er        -n 10000 -m 50000 -seed 1 -o g.txt
+//	tdbgen -model powerlaw  -n 10000 -m 50000 -skew 2.5 -recip 0.3 -o g.bin
+//	tdbgen -model smallworld -n 10000 -fwd 3 -chord 0.4 -o g.txt
+//	tdbgen -model planted   -n 10000 -cycles 20 -maxlen 6 -m 20000 -o g.txt
+//	tdbgen -model dataset   -dataset WKV -scale 0.05 -o wkv.bin
+//	tdbgen -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"tdb/internal/digraph"
+	"tdb/internal/gen"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tdbgen:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tdbgen", flag.ContinueOnError)
+	var (
+		model   = fs.String("model", "powerlaw", "er, powerlaw, smallworld, planted or dataset")
+		n       = fs.Int("n", 10_000, "vertex count")
+		m       = fs.Int("m", 50_000, "edge count (background edges for planted)")
+		seed    = fs.Uint64("seed", 1, "random seed")
+		skew    = fs.Float64("skew", 2.5, "powerlaw: degree skew (>= 1)")
+		recip   = fs.Float64("recip", 0.2, "powerlaw: edge reciprocity probability")
+		fwd     = fs.Int("fwd", 3, "smallworld: forward ring edges per vertex")
+		chord   = fs.Float64("chord", 0.4, "smallworld: backward chord probability")
+		cycles  = fs.Int("cycles", 20, "planted: number of implanted cycles")
+		minLenF = fs.Int("minlen", 3, "planted: minimum implanted cycle length")
+		maxLen  = fs.Int("maxlen", 6, "planted: maximum implanted cycle length")
+		dataset = fs.String("dataset", "", "dataset: registry name (see -list)")
+		scale   = fs.Float64("scale", 0.05, "dataset: fraction of the paper-reported size")
+		outPath = fs.String("o", "", "output file (required; .bin selects the binary format)")
+		list    = fs.Bool("list", false, "list the dataset registry and exit")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *list {
+		fmt.Printf("%-6s %-14s %12s %14s %7s\n", "name", "original", "|V|", "|E|", "davg")
+		for _, d := range gen.Datasets() {
+			large := ""
+			if d.Large {
+				large = " (large)"
+			}
+			fmt.Printf("%-6s %-14s %12d %14d %7.1f%s\n",
+				d.Name, d.Description, d.PaperV, d.PaperE, d.PaperAvgDeg, large)
+		}
+		return nil
+	}
+	if *outPath == "" {
+		fs.Usage()
+		return fmt.Errorf("-o is required")
+	}
+
+	var g *digraph.Graph
+	switch *model {
+	case "er":
+		g = gen.ErdosRenyi(*n, *m, *seed)
+	case "powerlaw":
+		g = gen.PowerLaw(*n, *m, *skew, *recip, *seed)
+	case "smallworld":
+		g = gen.SmallWorld(*n, *fwd, *chord, *seed)
+	case "planted":
+		p := gen.PlantedCycles(*n, *cycles, *minLenF, *maxLen, *m, *seed)
+		g = p.Graph
+		fmt.Fprintf(os.Stderr, "planted %d vertex-disjoint cycles\n", len(p.Cycles))
+	case "dataset":
+		d, ok := gen.DatasetByName(*dataset)
+		if !ok {
+			return fmt.Errorf("unknown dataset %q (use -list)", *dataset)
+		}
+		g = d.Generate(*scale)
+	default:
+		return fmt.Errorf("unknown model %q", *model)
+	}
+
+	if err := digraph.SaveFile(*outPath, g); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "wrote %v to %s\n", g, *outPath)
+	return nil
+}

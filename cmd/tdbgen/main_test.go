@@ -1,0 +1,66 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"tdb/internal/digraph"
+)
+
+func TestGenerateModels(t *testing.T) {
+	dir := t.TempDir()
+	cases := [][]string{
+		{"-model", "er", "-n", "100", "-m", "400"},
+		{"-model", "powerlaw", "-n", "100", "-m", "400", "-skew", "2.0", "-recip", "0.3"},
+		{"-model", "smallworld", "-n", "100", "-fwd", "2", "-chord", "0.5"},
+		{"-model", "planted", "-n", "100", "-cycles", "3", "-maxlen", "5", "-m", "100"},
+		{"-model", "dataset", "-dataset", "GNU", "-scale", "0.01"},
+	}
+	for i, args := range cases {
+		out := filepath.Join(dir, args[1]+".txt")
+		if err := run(append(args, "-o", out)); err != nil {
+			t.Fatalf("case %d: %v", i, err)
+		}
+		g, err := digraph.LoadFile(out)
+		if err != nil {
+			t.Fatalf("case %d: load: %v", i, err)
+		}
+		if g.NumVertices() == 0 || g.NumEdges() == 0 {
+			t.Fatalf("case %d: empty graph", i)
+		}
+	}
+}
+
+func TestGenerateBinaryOutput(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "g.bin")
+	if err := run([]string{"-model", "er", "-n", "50", "-m", "100", "-o", out}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := digraph.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 100 {
+		t.Fatalf("m = %d", g.NumEdges())
+	}
+}
+
+func TestListMode(t *testing.T) {
+	if err := run([]string{"-list"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenerateErrors(t *testing.T) {
+	cases := [][]string{
+		{"-model", "er", "-n", "10", "-m", "10"}, // missing -o
+		{"-model", "nope", "-o", "/tmp/x.txt"},
+		{"-model", "dataset", "-dataset", "NOPE", "-o", "/tmp/x.txt"},
+		{"-model", "er", "-n", "10", "-m", "10", "-o", "/no/such/dir/g.txt"},
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("case %d (%v): expected error", i, args)
+		}
+	}
+}

@@ -1,0 +1,27 @@
+package main
+
+import (
+	"path/filepath"
+	"testing"
+
+	"tdb/internal/digraph"
+)
+
+func TestStatRuns(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "g.txt")
+	g := digraph.FromEdges(3, []digraph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
+	if err := digraph.SaveFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-graph", path, "-k", "4"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatErrors(t *testing.T) {
+	for i, args := range [][]string{{}, {"-graph", "/nope"}} {
+		if err := run(args); err == nil {
+			t.Fatalf("case %d: expected error", i)
+		}
+	}
+}

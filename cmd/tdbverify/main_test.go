@@ -1,0 +1,85 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"tdb/internal/digraph"
+)
+
+func setup(t *testing.T) (graphPath, goodCover, badCover string) {
+	t.Helper()
+	dir := t.TempDir()
+	graphPath = filepath.Join(dir, "g.txt")
+	g := digraph.FromEdges(3, []digraph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
+	if err := digraph.SaveFile(graphPath, g); err != nil {
+		t.Fatal(err)
+	}
+	goodCover = filepath.Join(dir, "good.txt")
+	if err := os.WriteFile(goodCover, []byte("# cover\n0\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	badCover = filepath.Join(dir, "bad.txt")
+	if err := os.WriteFile(badCover, []byte("\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return
+}
+
+func TestVerifyValidCover(t *testing.T) {
+	g, good, _ := setup(t)
+	if err := run([]string{"-graph", g, "-cover", good, "-k", "5", "-minimal"}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyInvalidCover(t *testing.T) {
+	g, _, bad := setup(t)
+	err := run([]string{"-graph", g, "-cover", bad, "-k", "5"})
+	if err == nil || !strings.Contains(err.Error(), "INVALID") {
+		t.Fatalf("want INVALID error, got %v", err)
+	}
+}
+
+func TestVerifyNonMinimalCover(t *testing.T) {
+	g, _, _ := setup(t)
+	dir := t.TempDir()
+	fat := filepath.Join(dir, "fat.txt")
+	if err := os.WriteFile(fat, []byte("0\n1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// Valid without -minimal...
+	if err := run([]string{"-graph", g, "-cover", fat, "-k", "5"}); err != nil {
+		t.Fatal(err)
+	}
+	// ...rejected with it.
+	err := run([]string{"-graph", g, "-cover", fat, "-k", "5", "-minimal"})
+	if err == nil || !strings.Contains(err.Error(), "NOT MINIMAL") {
+		t.Fatalf("want NOT MINIMAL error, got %v", err)
+	}
+}
+
+func TestVerifyErrors(t *testing.T) {
+	g, good, _ := setup(t)
+	dir := t.TempDir()
+	junk := filepath.Join(dir, "junk.txt")
+	os.WriteFile(junk, []byte("abc\n"), 0o644)
+	outOfRange := filepath.Join(dir, "oor.txt")
+	os.WriteFile(outOfRange, []byte("99\n"), 0o644)
+
+	cases := [][]string{
+		{},                                  // missing flags
+		{"-graph", g},                       // missing cover
+		{"-graph", "/nope", "-cover", good}, // bad graph path
+		{"-graph", g, "-cover", "/nope"},    // bad cover path
+		{"-graph", g, "-cover", junk},       // unparsable cover
+		{"-graph", g, "-cover", outOfRange}, // vertex out of range
+	}
+	for i, args := range cases {
+		if err := run(args); err == nil {
+			t.Fatalf("case %d (%v): expected error", i, args)
+		}
+	}
+}

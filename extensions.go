@@ -1,0 +1,73 @@
+package tdb
+
+import (
+	"tdb/internal/core"
+	"tdb/internal/dynamic"
+	"tdb/internal/graphstat"
+)
+
+// Extensions beyond the paper's static vertex-cover problem, built from the
+// same primitives (see DESIGN.md): the edge-transversal variant, the
+// SCC-partitioned parallel solver, and dynamic cover maintenance.
+
+// EdgeCoverResult is a minimal constrained-cycle edge transversal.
+type EdgeCoverResult = core.EdgeCoverResult
+
+// CoverEdges computes a minimal EDGE set intersecting every cycle of length
+// in [3, k] (the k-cycle transversal of Definition 5 — the problem the
+// DARC baseline natively solves), using the paper's top-down process
+// ("TDB-E"). Removing the returned edges from the graph destroys every
+// constrained cycle.
+func CoverEdges(g *Graph, k int, opts *Options) (*EdgeCoverResult, error) {
+	o := core.Options{K: k}
+	if opts != nil {
+		o.MinLen = opts.MinLen
+		o.Order = opts.Order
+		o.Seed = opts.Seed
+		o.Cancelled = opts.Cancelled
+	}
+	return core.TopDownEdges(g, o)
+}
+
+// CoverParallel computes the same cover as CoverWith by decomposing the
+// graph into strongly connected components and covering them concurrently.
+// It shines when the cyclic part splits into many components; a single
+// giant SCC gains nothing. workers <= 0 selects GOMAXPROCS.
+func CoverParallel(g *Graph, algo Algorithm, k int, opts *Options, workers int) (*Result, error) {
+	o := core.Options{K: k}
+	if opts != nil {
+		o.MinLen = opts.MinLen
+		o.Order = opts.Order
+		o.Seed = opts.Seed
+		o.Cancelled = opts.Cancelled
+	}
+	return core.ComputeParallel(g, algo, o, workers)
+}
+
+// Maintainer keeps a hop-constrained cycle cover valid across a stream of
+// edge insertions and deletions (the dynamic-graph setting of the paper's
+// fraud-detection motivation).
+type Maintainer = dynamic.Maintainer
+
+// NewMaintainer creates a dynamic cover maintainer over an initially empty
+// graph with n vertices, for cycles of length in [minLen, k].
+func NewMaintainer(n, k, minLen int) *Maintainer {
+	return dynamic.New(n, k, minLen)
+}
+
+// MaintainerFromGraph seeds a maintainer with an existing graph and a valid
+// cover of it (typically from Cover/CoverWith).
+func MaintainerFromGraph(g *Graph, k, minLen int, cover []VID) *Maintainer {
+	return dynamic.FromGraph(g, k, minLen, cover)
+}
+
+// GraphProfile summarizes the statistics that make a cycle-cover instance
+// hard: degree skew, reciprocity, SCC structure and (when requested) the
+// short-cycle length spectrum.
+type GraphProfile = graphstat.Profile
+
+// ProfileGraph profiles g; cycleK > 0 additionally counts simple cycles of
+// length 2..cycleK (capped at a million — counting is #P-hard in general).
+func ProfileGraph(g *Graph, cycleK int) *GraphProfile {
+	return graphstat.Compute(g, graphstat.Options{K: cycleK})
+}

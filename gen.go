@@ -1,0 +1,45 @@
+package tdb
+
+import (
+	"tdb/internal/gen"
+)
+
+// Synthetic workload generators, re-exported for examples and downstream
+// experimentation. All generators are deterministic in their seed.
+
+// GenErdosRenyi generates a directed G(n, m): m distinct uniform edges.
+func GenErdosRenyi(n, m int, seed uint64) *Graph {
+	return gen.ErdosRenyi(n, m, seed)
+}
+
+// GenPowerLaw generates a directed graph with ~m edges, right-skewed
+// degrees (skew >= 1; larger is more skewed) and the given probability that
+// an edge's reverse is also present.
+func GenPowerLaw(n, m int, skew, reciprocity float64, seed uint64) *Graph {
+	return gen.PowerLaw(n, m, skew, reciprocity, seed)
+}
+
+// GenSmallWorld generates a directed ring lattice (fwd forward edges per
+// vertex) with random backward chords that close short cycles.
+func GenSmallWorld(n, fwd int, chordProb float64, seed uint64) *Graph {
+	return gen.SmallWorld(n, fwd, chordProb, seed)
+}
+
+// Planted is a graph with known implanted cycles.
+type Planted = gen.Planted
+
+// GenPlantedCycles implants numCycles vertex-disjoint cycles with lengths
+// in [minLen, maxLen] into a random background of bgEdges edges.
+func GenPlantedCycles(n, numCycles, minLen, maxLen, bgEdges int, seed uint64) *Planted {
+	return gen.PlantedCycles(n, numCycles, minLen, maxLen, bgEdges, seed)
+}
+
+// Dataset is a named synthetic stand-in for one of the paper's Table II
+// graphs; Generate(scale) builds it at a fraction of the published size.
+type Dataset = gen.Dataset
+
+// Datasets returns stand-ins for the paper's 16 evaluation graphs.
+func Datasets() []Dataset { return gen.Datasets() }
+
+// DatasetByName finds a dataset stand-in ("WKV", "WGO", ...) by name.
+func DatasetByName(name string) (Dataset, bool) { return gen.DatasetByName(name) }

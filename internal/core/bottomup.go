@@ -1,0 +1,115 @@
+package core
+
+import (
+	"time"
+
+	"tdb/internal/cycle"
+	"tdb/internal/digraph"
+)
+
+// bottomUp implements the paper's bottom-up cover (Alg. 4, BUR) and, when
+// minimal is set, the extra minimal-pruning pass (Alg. 7, BUR+).
+//
+// The process: scan start vertices in order; as long as a constrained cycle
+// through the current start vertex exists, increment the hit counter H of
+// every vertex on the found cycle, move the cycle vertex with the largest H
+// into the cover (FindCoverNode, Alg. 6), and delete its edges. H
+// accumulates across the whole run, implementing the paper's "vertices hit
+// often before are likely to cover more cycles" heuristic.
+func bottomUp(g *digraph.Graph, opts Options, minimal bool) *Result {
+	start := time.Now()
+	algo := BUR
+	if minimal {
+		algo = BURPlus
+	}
+	r := &Result{}
+	n := g.NumVertices()
+	candidates := cycleCandidates(g, opts, &r.Stats)
+
+	active := digraph.NewVertexMask(n, true)
+	det := cycle.NewPlainDetector(g, opts.K, opts.MinLen, active.Raw())
+	det.Cancelled = opts.Cancelled // aborts even mid-search (worst case O(n^k))
+	h := make([]int64, n)
+
+	var coverOrder []VID // insertion order, needed by the minimal pass
+	for _, s := range vertexOrder(g, opts) {
+		if opts.Cancelled != nil && opts.Cancelled() {
+			r.Stats.TimedOut = true
+			break
+		}
+		if candidates != nil && !candidates[s] {
+			continue
+		}
+		r.Stats.Checked++
+		for c := det.FindFrom(s); c != nil; c = det.FindFrom(s) {
+			r.Stats.CyclesHit++
+			for _, v := range c {
+				h[v]++
+			}
+			u := findCoverNode(h, c)
+			coverOrder = append(coverOrder, u)
+			active.Deactivate(u) // removes all in- and out-edges of u
+			if opts.Cancelled != nil && opts.Cancelled() {
+				r.Stats.TimedOut = true
+				break
+			}
+		}
+		if det.WasAborted() {
+			r.Stats.TimedOut = true
+		}
+		if r.Stats.TimedOut {
+			break
+		}
+	}
+
+	if minimal && !r.Stats.TimedOut {
+		// With weights, try shedding the most expensive vertices first.
+		coverOrder = minimalPass(det, active, pruneOrder(coverOrder, opts), &r.Stats, opts)
+	}
+	r.Cover = coverOrder
+	r.Stats.Detector = det.Stats
+	finishStats(r, g, algo, opts, start)
+	return r
+}
+
+// findCoverNode picks the cycle vertex with the maximum hit count; ties go
+// to the earliest vertex on the cycle (Alg. 6 starts with c[0]).
+func findCoverNode(h []int64, c []VID) VID {
+	best := c[0]
+	for _, v := range c[1:] {
+		if h[v] > h[best] {
+			best = v
+		}
+	}
+	return best
+}
+
+// minimalPass implements Alg. 7: for each cover vertex v (in insertion
+// order), restore v into the reduced graph; if no constrained cycle passes
+// through v there, v is redundant and is removed from the cover for good
+// (staying restored). Otherwise v is deactivated again. The surviving set is
+// a minimal cover (paper Theorem 4).
+func minimalPass(det *cycle.PlainDetector, active *digraph.VertexMask, cover []VID, st *Stats, opts Options) []VID {
+	kept := cover[:0]
+	for _, v := range cover {
+		if opts.Cancelled != nil && opts.Cancelled() {
+			st.TimedOut = true
+			// Keep v and the rest: a partial prune is still a valid cover.
+			kept = append(kept, v)
+			continue
+		}
+		active.Activate(v)
+		if det.HasCycleThrough(v) || det.WasAborted() {
+			// Keeping a vertex is always safe; an aborted (inconclusive)
+			// check therefore keeps it and flags the timeout.
+			if det.WasAborted() {
+				st.TimedOut = true
+			}
+			active.Deactivate(v)
+			kept = append(kept, v)
+		} else {
+			st.PruneRemoved++
+		}
+	}
+	return kept
+}

@@ -1,0 +1,238 @@
+// Package core implements the paper's hop-constrained cycle cover
+// algorithms: the bottom-up family (BUR, BUR+), the top-down family (TDB,
+// TDB+, TDB++), and the DARC / DARC-DV baseline it compares against.
+//
+// All algorithms produce a set of vertices that intersects every simple
+// directed cycle of length in [MinLen, K] of the input graph; BUR+ and the
+// whole top-down family additionally guarantee minimality (no cover vertex
+// can be dropped). They are single-threaded, as in the paper.
+package core
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"tdb/internal/cycle"
+	"tdb/internal/digraph"
+	"tdb/internal/scc"
+)
+
+// VID aliases digraph.VID.
+type VID = digraph.VID
+
+// Algorithm selects a cover algorithm.
+type Algorithm int
+
+const (
+	// BUR is the bottom-up cover with the hit-count heuristic (Alg. 4).
+	BUR Algorithm = iota
+	// BURPlus is BUR followed by the minimal pruning pass (Alg. 7).
+	BURPlus
+	// TDB is the top-down cover with the plain DFS detector (Alg. 8).
+	TDB
+	// TDBPlus is TDB with the block-based detector (Alg. 9-10).
+	TDBPlus
+	// TDBPlusPlus is TDBPlus with the BFS-filter (Alg. 11) — the paper's
+	// headline algorithm.
+	TDBPlusPlus
+	// DARCDV is the state-of-the-art baseline: the DARC edge transversal
+	// run on the line graph and mapped back to vertices (Sec. III-B).
+	DARCDV
+)
+
+var algoNames = map[Algorithm]string{
+	BUR: "BUR", BURPlus: "BUR+", TDB: "TDB", TDBPlus: "TDB+",
+	TDBPlusPlus: "TDB++", DARCDV: "DARC-DV",
+}
+
+// String returns the paper's name for the algorithm.
+func (a Algorithm) String() string {
+	if s, ok := algoNames[a]; ok {
+		return s
+	}
+	return fmt.Sprintf("Algorithm(%d)", int(a))
+}
+
+// ParseAlgorithm resolves the paper's algorithm names (case-sensitive,
+// e.g. "TDB++", "BUR+", "DARC-DV").
+func ParseAlgorithm(s string) (Algorithm, error) {
+	for a, name := range algoNames {
+		if s == name {
+			return a, nil
+		}
+	}
+	return 0, fmt.Errorf("core: unknown algorithm %q (want BUR, BUR+, TDB, TDB+, TDB++ or DARC-DV)", s)
+}
+
+// Algorithms lists all algorithms in presentation order.
+func Algorithms() []Algorithm {
+	return []Algorithm{DARCDV, BUR, BURPlus, TDB, TDBPlus, TDBPlusPlus}
+}
+
+// Order selects the order in which candidate vertices are processed.
+// The paper uses natural order; the alternatives are ablation knobs
+// (experiment "order" in DESIGN.md).
+type Order int
+
+const (
+	// OrderNatural processes vertices by increasing ID (the paper's order).
+	OrderNatural Order = iota
+	// OrderDegreeAsc processes low-degree vertices first, which tends to
+	// keep hubs in the cover.
+	OrderDegreeAsc
+	// OrderDegreeDesc processes hubs first.
+	OrderDegreeDesc
+	// OrderRandom processes vertices in a seeded random order.
+	OrderRandom
+	// OrderWeighted processes vertices by descending Options.Weights,
+	// steering expensive vertices out of the cover (see Options.Weights).
+	OrderWeighted
+)
+
+// Options configures a cover computation.
+type Options struct {
+	// K is the hop constraint: cycles of length up to K are covered.
+	// Use cycle.Unconstrained(g) to cover cycles of every length
+	// (the paper's Sec. VI-C variant). Must be >= MinLen.
+	K int
+	// MinLen is the minimum cycle length: 3 by default (self-loops and
+	// 2-cycles are not cycles, per the paper); 2 switches to the
+	// with-2-cycles variant of Table IV.
+	MinLen int
+	// Order is the candidate processing order (default natural).
+	Order Order
+	// Seed feeds OrderRandom.
+	Seed uint64
+	// Weights, when non-nil (length n), makes covers cost-aware: vertex v
+	// costs Weights[v] and the algorithms try to keep expensive vertices
+	// OUT of the cover. OrderWeighted processes candidates by descending
+	// weight — the top-down process excludes a candidate whenever it can,
+	// and early candidates see a smaller working graph, so expensive
+	// vertices get the best exclusion odds; the minimal pruning passes
+	// likewise try to shed the most expensive cover vertices first. This
+	// is a best-effort heuristic (the weighted problem inherits the
+	// unweighted NP-hardness), extension over the paper.
+	Weights []float64
+	// SCCPrefilter, when set, first computes strongly connected components
+	// and exempts every vertex outside non-trivial SCCs from cover
+	// candidacy (such vertices lie on no cycle of any length). This is an
+	// extension over the paper; see DESIGN.md.
+	SCCPrefilter bool
+	// Cancelled, when non-nil, is polled between candidate steps; when it
+	// returns true the algorithm stops and marks the result TimedOut.
+	Cancelled func() bool
+}
+
+func (o Options) withDefaults() Options {
+	if o.MinLen == 0 {
+		o.MinLen = cycle.DefaultMinLen
+	}
+	return o
+}
+
+func (o Options) validate(g *digraph.Graph) error {
+	if o.MinLen < 2 {
+		return fmt.Errorf("core: MinLen %d < 2", o.MinLen)
+	}
+	if o.K < o.MinLen {
+		return fmt.Errorf("core: K=%d < MinLen=%d", o.K, o.MinLen)
+	}
+	if o.Weights != nil && len(o.Weights) != g.NumVertices() {
+		return fmt.Errorf("core: Weights length %d != n %d", len(o.Weights), g.NumVertices())
+	}
+	if o.Order == OrderWeighted && o.Weights == nil {
+		return fmt.Errorf("core: OrderWeighted requires Options.Weights")
+	}
+	return nil
+}
+
+// Stats records the work a cover computation performed.
+type Stats struct {
+	Algorithm string
+	K, MinLen int
+	N, M      int
+	CoverSize int
+	Duration  time.Duration
+	// Checked counts candidate vertices (or, for DARC, edges) evaluated.
+	Checked int64
+	// SCCSkipped counts candidates exempted by the SCC prefilter.
+	SCCSkipped int64
+	// FilterPruned counts candidates the BFS-filter resolved (TDB++).
+	FilterPruned int64
+	// CyclesHit counts cycles discovered while building the cover (BUR).
+	CyclesHit int64
+	// PruneRemoved counts vertices removed by the minimal pass (BUR+) or
+	// edges demoted by PRUNE (DARC).
+	PruneRemoved int64
+	// Detector aggregates detector-level counters.
+	Detector cycle.Stats
+	// TimedOut marks a cancelled run; the cover is then incomplete.
+	TimedOut bool
+}
+
+// Result is a computed cover plus its statistics.
+type Result struct {
+	// Cover is the vertex cover, sorted by ID. When Stats.TimedOut is set
+	// the cover is partial and NOT a valid cycle cover.
+	Cover []VID
+	Stats Stats
+}
+
+// CoverSet returns the cover as a membership mask of length n.
+func (r *Result) CoverSet(n int) []bool {
+	mask := make([]bool, n)
+	for _, v := range r.Cover {
+		mask[v] = true
+	}
+	return mask
+}
+
+// Compute runs the selected algorithm. It returns an error only for invalid
+// options or (for DARC-DV) an infeasible line-graph blow-up; timeouts are
+// reported through Stats.TimedOut.
+func Compute(g *digraph.Graph, algo Algorithm, opts Options) (*Result, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(g); err != nil {
+		return nil, err
+	}
+	switch algo {
+	case BUR:
+		return bottomUp(g, opts, false), nil
+	case BURPlus:
+		return bottomUp(g, opts, true), nil
+	case TDB, TDBPlus, TDBPlusPlus:
+		return topDown(g, algo, opts), nil
+	case DARCDV:
+		return darcDV(g, opts)
+	default:
+		return nil, fmt.Errorf("core: unknown algorithm %v", algo)
+	}
+}
+
+// finishStats fills the common fields of a result's statistics.
+func finishStats(r *Result, g *digraph.Graph, algo Algorithm, opts Options, start time.Time) {
+	sort.Slice(r.Cover, func(i, j int) bool { return r.Cover[i] < r.Cover[j] })
+	r.Stats.Algorithm = algo.String()
+	r.Stats.K = opts.K
+	r.Stats.MinLen = opts.MinLen
+	r.Stats.N = g.NumVertices()
+	r.Stats.M = g.NumEdges()
+	r.Stats.CoverSize = len(r.Cover)
+	r.Stats.Duration = time.Since(start)
+}
+
+// cycleCandidates returns the SCC prefilter mask (nil when disabled):
+// mask[v] is false for vertices provably on no cycle.
+func cycleCandidates(g *digraph.Graph, opts Options, st *Stats) []bool {
+	if !opts.SCCPrefilter {
+		return nil
+	}
+	mask := scc.Compute(g).CycleCandidates()
+	for _, ok := range mask {
+		if !ok {
+			st.SCCSkipped++
+		}
+	}
+	return mask
+}

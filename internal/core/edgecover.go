@@ -1,0 +1,214 @@
+package core
+
+import (
+	"time"
+
+	"tdb/internal/digraph"
+)
+
+// This file applies the paper's top-down process to the EDGE version of the
+// problem — Definition 5's k-cycle transversal, the problem DARC natively
+// solves: find a small edge set S such that every constrained cycle
+// contains an edge of S. The same inversion works: start from an empty
+// graph, insert one candidate edge at a time, and keep the edge in the
+// transversal exactly when inserting it would close a constrained cycle
+// through it. The working graph stays free of constrained cycles, so the
+// result is feasible, and every kept edge witnesses a cycle in the final
+// reduced graph plus itself, so it is minimal — the argument of Theorem 7
+// verbatim. This "TDB-E" variant is an extension over the paper (which
+// treats only the vertex version) and is benchmarked against DARC in
+// bench_test.go.
+
+// EdgeCoverResult is the outcome of TopDownEdges.
+type EdgeCoverResult struct {
+	// Edges is the minimal transversal: removing these edges from the
+	// graph destroys every cycle of length in [MinLen, K].
+	Edges []digraph.Edge
+	Stats Stats
+}
+
+// TopDownEdges computes a minimal constrained-cycle edge transversal with
+// the top-down process. Options are interpreted as for Compute; Order
+// orders candidate edges by their tail vertex.
+func TopDownEdges(g *digraph.Graph, opts Options) (*EdgeCoverResult, error) {
+	opts = opts.withDefaults()
+	if err := opts.validate(g); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	r := &EdgeCoverResult{}
+
+	d := newEdgeDetector(g, opts.K, opts.MinLen)
+	d.cancelled = opts.Cancelled
+	// Candidate edges grouped by tail vertex in the configured order.
+	for _, u := range vertexOrder(g, opts) {
+		base := d.bases[u]
+		for i, v := range g.Out(u) {
+			if d.aborted || (opts.Cancelled != nil && opts.Cancelled()) {
+				r.Stats.TimedOut = true
+				break
+			}
+			r.Stats.Checked++
+			id := base + int64(i)
+			d.active[id] = true
+			if d.cycleThroughEdge(u, v) || d.aborted {
+				// Inconclusive checks keep the edge in the transversal
+				// (always safe) and the abort flag stops the run above.
+				d.active[id] = false
+				r.Edges = append(r.Edges, digraph.Edge{U: u, V: v})
+			}
+		}
+		if r.Stats.TimedOut {
+			break
+		}
+	}
+	if d.aborted {
+		r.Stats.TimedOut = true
+	}
+
+	r.Stats.Algorithm = "TDB-E"
+	r.Stats.K = opts.K
+	r.Stats.MinLen = opts.MinLen
+	r.Stats.N = g.NumVertices()
+	r.Stats.M = g.NumEdges()
+	r.Stats.CoverSize = len(r.Edges)
+	r.Stats.Duration = time.Since(start)
+	return r, nil
+}
+
+// edgeDetector answers "does the active edge set contain a constrained
+// cycle through edge (u, v)?" — i.e. is there a vertex-simple path
+// v -> ... -> u of length in [MinLen-1, K-1] over active edges. A bounded
+// BFS over active edges first upper-bounds reachability (if u is not within
+// K-1 hops of v, no cycle exists — the analog of the paper's BFS filter);
+// only then does the exact DFS run.
+type edgeDetector struct {
+	g      *digraph.Graph
+	k      int
+	minLen int
+	bases  []int64
+	active []bool
+
+	onPath  []bool
+	marked  []VID
+	visited []uint32
+	epoch   uint32
+	queue   []VID
+	nextQ   []VID
+
+	// cancellation, polled inside the exponential-worst-case DFS
+	cancelled func() bool
+	steps     int64
+	aborted   bool
+}
+
+func newEdgeDetector(g *digraph.Graph, k, minLen int) *edgeDetector {
+	n := g.NumVertices()
+	d := &edgeDetector{
+		g: g, k: k, minLen: minLen,
+		bases:   make([]int64, n+1),
+		active:  make([]bool, g.NumEdges()),
+		onPath:  make([]bool, n),
+		visited: make([]uint32, n),
+	}
+	for u := 0; u < n; u++ {
+		d.bases[u+1] = d.bases[u] + int64(g.OutDegree(VID(u)))
+	}
+	return d
+}
+
+// reachableWithin reports whether target is within maxHops of from over
+// active edges (breadth-first, early exit).
+func (d *edgeDetector) reachableWithin(from, target VID, maxHops int) bool {
+	if maxHops <= 0 {
+		return false
+	}
+	d.epoch++
+	if d.epoch == 0 {
+		for i := range d.visited {
+			d.visited[i] = 0
+		}
+		d.epoch = 1
+	}
+	d.visited[from] = d.epoch
+	d.queue = append(d.queue[:0], from)
+	for hop := 1; hop <= maxHops && len(d.queue) > 0; hop++ {
+		d.nextQ = d.nextQ[:0]
+		for _, x := range d.queue {
+			base := d.bases[x]
+			for i, w := range d.g.Out(x) {
+				if !d.active[base+int64(i)] || d.visited[w] == d.epoch {
+					continue
+				}
+				if w == target {
+					return true
+				}
+				d.visited[w] = d.epoch
+				d.nextQ = append(d.nextQ, w)
+			}
+		}
+		d.queue, d.nextQ = d.nextQ, d.queue
+	}
+	return false
+}
+
+// cycleThroughEdge assumes edge (u, v) is active and checks for a
+// constrained cycle through it.
+func (d *edgeDetector) cycleThroughEdge(u, v VID) bool {
+	if u == v {
+		return false
+	}
+	if !d.reachableWithin(v, u, d.k-1) {
+		return false
+	}
+	d.marked = d.marked[:0]
+	d.mark(u)
+	d.mark(v)
+	found := d.dfs(v, u, 1)
+	for _, x := range d.marked {
+		d.onPath[x] = false
+	}
+	return found
+}
+
+func (d *edgeDetector) mark(x VID) {
+	d.onPath[x] = true
+	d.marked = append(d.marked, x)
+}
+
+// dfs extends the path (ending at cur, depth edges used including the seed
+// edge) toward target over active edges.
+func (d *edgeDetector) dfs(cur, target VID, depth int) bool {
+	base := d.bases[cur]
+	for i, w := range d.g.Out(cur) {
+		d.steps++
+		if d.steps%4096 == 0 && d.cancelled != nil && d.cancelled() {
+			d.aborted = true
+			return false
+		}
+		if d.aborted {
+			return false
+		}
+		if !d.active[base+int64(i)] {
+			continue
+		}
+		if w == target {
+			if depth+1 >= d.minLen {
+				return true
+			}
+			continue
+		}
+		if d.onPath[w] || depth+1 > d.k-1 {
+			continue
+		}
+		d.mark(w)
+		if d.dfs(w, target, depth+1) {
+			return true
+		}
+		// onPath[w] stays set until cycleThroughEdge unwinds; clearing it
+		// here would be wrong only for the success path, but clearing
+		// eagerly also lets other branches reuse w:
+		d.onPath[w] = false
+	}
+	return false
+}

@@ -1,0 +1,70 @@
+package core
+
+import (
+	"math/rand/v2"
+	"sort"
+
+	"tdb/internal/digraph"
+)
+
+// vertexOrder materializes the candidate processing order for the graph.
+func vertexOrder(g *digraph.Graph, opts Options) []VID {
+	n := g.NumVertices()
+	ids := make([]VID, n)
+	for i := range ids {
+		ids[i] = VID(i)
+	}
+	switch opts.Order {
+	case OrderNatural:
+		// IDs are already ascending.
+	case OrderDegreeAsc, OrderDegreeDesc:
+		deg := make([]int, n)
+		for v := 0; v < n; v++ {
+			deg[v] = g.OutDegree(VID(v)) + g.InDegree(VID(v))
+		}
+		asc := opts.Order == OrderDegreeAsc
+		sort.SliceStable(ids, func(i, j int) bool {
+			di, dj := deg[ids[i]], deg[ids[j]]
+			if di != dj {
+				if asc {
+					return di < dj
+				}
+				return di > dj
+			}
+			return ids[i] < ids[j] // deterministic tie-break
+		})
+	case OrderRandom:
+		rng := rand.New(rand.NewPCG(opts.Seed, opts.Seed^0xda3e39cb94b95bdb))
+		rng.Shuffle(n, func(i, j int) { ids[i], ids[j] = ids[j], ids[i] })
+	case OrderWeighted:
+		w := opts.Weights // validated non-nil by Options.validate
+		sort.SliceStable(ids, func(i, j int) bool {
+			if w[ids[i]] != w[ids[j]] {
+				return w[ids[i]] > w[ids[j]] // expensive first
+			}
+			return ids[i] < ids[j]
+		})
+	default:
+		panic("core: unknown Order")
+	}
+	return ids
+}
+
+// pruneOrder returns the order in which a minimal pass should try to shed
+// cover vertices: insertion order normally, most-expensive-first when
+// weights are present.
+func pruneOrder(cover []VID, opts Options) []VID {
+	if opts.Weights == nil {
+		return cover
+	}
+	out := make([]VID, len(cover))
+	copy(out, cover)
+	w := opts.Weights
+	sort.SliceStable(out, func(i, j int) bool {
+		if w[out[i]] != w[out[j]] {
+			return w[out[i]] > w[out[j]]
+		}
+		return out[i] < out[j]
+	})
+	return out
+}

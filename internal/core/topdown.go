@@ -1,0 +1,103 @@
+package core
+
+import (
+	"time"
+
+	"tdb/internal/cycle"
+	"tdb/internal/digraph"
+)
+
+// detector is the common surface of the plain and block-based detectors.
+type detector interface {
+	HasCycleThrough(s VID) bool
+}
+
+// topDown implements the paper's top-down cover (Alg. 8) in its three
+// variants:
+//
+//	TDB   — plain bounded-DFS detector;
+//	TDB+  — block-based detector (Alg. 9-10);
+//	TDB++ — block-based detector behind the BFS-filter (Alg. 11).
+//
+// The cover starts conceptually as all of V and the working graph G0 as
+// empty. Each candidate v is activated (all its edges join G0); if no
+// constrained cycle passes through v, the working graph is still acyclic
+// and v is dropped from the cover for good; otherwise v is kept in the
+// cover and deactivated again. The invariant — G0 holds no constrained
+// cycle — makes every kept vertex a witness of its own necessity, so the
+// result is minimal (paper Theorem 7).
+func topDown(g *digraph.Graph, algo Algorithm, opts Options) *Result {
+	start := time.Now()
+	r := &Result{}
+	n := g.NumVertices()
+	candidates := cycleCandidates(g, opts, &r.Stats)
+
+	active := digraph.NewVertexMask(n, false)
+
+	var det detector
+	var plainDet *cycle.PlainDetector
+	var blockDet *cycle.BlockDetector
+	if algo == TDB {
+		plainDet = cycle.NewPlainDetector(g, opts.K, opts.MinLen, active.Raw())
+		plainDet.Cancelled = opts.Cancelled // the plain DFS is worst-case O(n^k)
+		det = plainDet
+	} else {
+		blockDet = cycle.NewBlockDetector(g, opts.K, opts.MinLen, active.Raw())
+		det = blockDet
+	}
+	var filter *cycle.BFSFilter
+	if algo == TDBPlusPlus {
+		filter = cycle.NewBFSFilter(g, opts.K, active.Raw())
+	}
+
+	for _, v := range vertexOrder(g, opts) {
+		if opts.Cancelled != nil && opts.Cancelled() {
+			// Everything not yet processed stays in the (partial) cover.
+			r.Stats.TimedOut = true
+			r.Cover = append(r.Cover, v)
+			continue
+		}
+		if candidates != nil && !candidates[v] {
+			active.Activate(v) // provably on no cycle: never in the cover
+			continue
+		}
+		r.Stats.Checked++
+		active.Activate(v)
+		necessary := false
+		if filter != nil && filter.CanPrune(v) {
+			// Proven: no constrained cycle through v in G0. Not necessary.
+			r.Stats.FilterPruned++
+		} else {
+			necessary = det.HasCycleThrough(v)
+			if plainDet != nil && plainDet.WasAborted() {
+				// Inconclusive: keep v in the cover (always safe) and
+				// flag the timeout.
+				necessary = true
+				r.Stats.TimedOut = true
+			}
+		}
+		if necessary {
+			r.Cover = append(r.Cover, v)
+			active.Deactivate(v)
+		}
+	}
+
+	if plainDet != nil {
+		r.Stats.Detector = plainDet.Stats
+	} else {
+		r.Stats.Detector = blockDet.Stats
+	}
+	if filter != nil {
+		r.Stats.Detector.Add(filter.Stats)
+	}
+	finishStats(r, g, algo, opts, start)
+	return r
+}
+
+// Unconstrained computes a minimal cover of cycles of every length (the
+// paper's Sec. VI-C variant) by running the requested top-down variant with
+// the hop constraint lifted to n.
+func Unconstrained(g *digraph.Graph, algo Algorithm, opts Options) (*Result, error) {
+	opts.K = cycle.Unconstrained(g)
+	return Compute(g, algo, opts)
+}

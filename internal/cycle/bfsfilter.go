@@ -1,0 +1,112 @@
+package cycle
+
+import "tdb/internal/digraph"
+
+// BFSFilter implements the paper's BFS-filter technique (Alg. 11): a
+// linear-time test that can prove no constrained cycle passes through a
+// vertex, so the (more expensive) block-based DFS can be skipped.
+//
+// For a start vertex s it computes U, the length of the shortest closed walk
+// through s: a bounded BFS from s assigns forward distances, and U is the
+// minimum dist(x)+1 over in-neighbors x of s reached by the BFS. Every
+// simple cycle through s is in particular a closed walk through s, so U > k
+// soundly proves that no cycle of length <= k through s exists and s can be
+// pruned. U <= k proves nothing (the short walk may be non-simple, or may be
+// a 2-cycle while the problem excludes 2-cycles — the paper's Example 2), so
+// the caller must fall through to a full detector.
+//
+// The BFS stops as soon as it settles any in-neighbor of s, so it touches at
+// most min(m, frontier within k-1 hops) edges.
+type BFSFilter struct {
+	g      *digraph.Graph
+	k      int
+	active []bool
+
+	visited epochMark
+	inNbr   epochMark // marks the in-neighbors of the current start vertex
+	queue   []VID
+	nextQ   []VID
+
+	Stats Stats
+}
+
+// NewBFSFilter creates a filter for hop constraint k over the subgraph
+// induced by active (nil = whole graph). The active slice is retained.
+func NewBFSFilter(g *digraph.Graph, k int, active []bool) *BFSFilter {
+	if active != nil && len(active) != g.NumVertices() {
+		panic("cycle: BFSFilter active mask length mismatch")
+	}
+	if k < 2 {
+		panic("cycle: BFSFilter needs k >= 2")
+	}
+	n := g.NumVertices()
+	return &BFSFilter{
+		g: g, k: k, active: active,
+		visited: newEpochMark(n),
+		inNbr:   newEpochMark(n),
+	}
+}
+
+func (f *BFSFilter) isActive(v VID) bool {
+	return f.active == nil || f.active[v]
+}
+
+// ShortestClosedWalk returns the length of the shortest closed walk through
+// s in the active subgraph, or k+1 if every closed walk is longer than k
+// (including the no-walk case). Values <= k are exact.
+func (f *BFSFilter) ShortestClosedWalk(s VID) int {
+	f.Stats.Queries++
+	if !f.isActive(s) {
+		return f.k + 1
+	}
+	// Mark active in-neighbors of s; if none, no cycle can close.
+	f.inNbr.nextEpoch()
+	anyIn := false
+	for _, x := range f.g.In(s) {
+		if x != s && f.isActive(x) {
+			f.inNbr.set(x)
+			anyIn = true
+		}
+	}
+	if !anyIn {
+		return f.k + 1
+	}
+
+	f.visited.nextEpoch()
+	f.visited.set(s)
+	f.queue = f.queue[:0]
+	f.queue = append(f.queue, s)
+	// A useful hit is an in-neighbor at distance <= k-1 (closed walk <= k),
+	// so generate levels 1..k-1: iterations dist = 0..k-2.
+	for dist := 0; dist <= f.k-2 && len(f.queue) > 0; dist++ {
+		f.nextQ = f.nextQ[:0]
+		for _, u := range f.queue {
+			for _, w := range f.g.Out(u) {
+				f.Stats.EdgeScans++
+				if w == s || !f.isActive(w) || f.visited.get(w) {
+					continue
+				}
+				if f.inNbr.get(w) {
+					// w is an in-neighbor of s at distance dist+1: the
+					// shortest closed walk has length dist+2.
+					return dist + 2
+				}
+				f.visited.set(w)
+				f.Stats.BFSVisited++
+				f.nextQ = append(f.nextQ, w)
+			}
+		}
+		f.queue, f.nextQ = f.nextQ, f.queue
+	}
+	return f.k + 1
+}
+
+// CanPrune reports whether s provably lies on no cycle of length <= k in the
+// active subgraph. A false result is inconclusive.
+func (f *BFSFilter) CanPrune(s VID) bool {
+	pruned := f.ShortestClosedWalk(s) > f.k
+	if pruned {
+		f.Stats.BFSPruned++
+	}
+	return pruned
+}

@@ -1,0 +1,168 @@
+package cycle
+
+import "tdb/internal/digraph"
+
+// BlockDetector answers "is there a constrained cycle through s?" with the
+// paper's block (barrier) technique (Alg. 9 NodeNecessary + Alg. 10 Unblock).
+//
+// For a query starting at s, block[u] is a per-query lower bound on
+// sd(u, s | S): the fewest hops from u back to s avoiding the vertices
+// currently on the DFS stack S. When the DFS pushes u at path depth d it
+// pessimistically sets block[u] = k - d + 1, the bound that becomes valid if
+// the whole subtree under u fails (finding a cycle terminates the query, so
+// the pessimism is never observed on success paths). A neighbor w at depth
+// d+1 is expanded only when (d+1) + block[w] <= k — otherwise no cycle
+// within the hop budget can close through w.
+//
+// The one repair the bound needs mid-query: when the DFS at depth 1 sees the
+// edge u -> s it has found a 2-cycle, which the problem definition rejects
+// (MinLen = 3), yet u provably reaches s in one hop. Unblock(u, 1) records
+// that and relaxes in-neighbors transitively (v -> u -> s gives block[v] <= 2,
+// and so on), exactly Alg. 9 line 7. Without this repair the pessimistic
+// bound set at push time would wrongly suppress longer cycles through u.
+//
+// Each vertex can be re-pushed only at strictly smaller depths (the prune
+// condition with the updated block forces it), so a query pushes every
+// vertex at most k times and runs in O(k*m) — Theorem 6.
+type BlockDetector struct {
+	g      *digraph.Graph
+	k      int
+	minLen int
+	active []bool
+
+	onPath  epochMark
+	blocked []int32 // valid only when blockStamp matches the query epoch
+	stamp   []uint32
+	epoch   uint32
+	path    []VID
+
+	Stats Stats
+}
+
+// NewBlockDetector creates a block-based detector for cycles of length in
+// [minLen, k] over the subgraph induced by active (nil = whole graph). The
+// active slice is retained, not copied.
+func NewBlockDetector(g *digraph.Graph, k, minLen int, active []bool) *BlockDetector {
+	validate(g, k, minLen, active)
+	n := g.NumVertices()
+	return &BlockDetector{
+		g: g, k: k, minLen: minLen, active: active,
+		onPath:  newEpochMark(n),
+		blocked: make([]int32, n),
+		stamp:   make([]uint32, n),
+		path:    make([]VID, 0, k+1),
+	}
+}
+
+func (d *BlockDetector) isActive(v VID) bool {
+	return d.active == nil || d.active[v]
+}
+
+func (d *BlockDetector) block(v VID) int {
+	if d.stamp[v] == d.epoch {
+		return int(d.blocked[v])
+	}
+	return 0 // no information: sd >= 0
+}
+
+func (d *BlockDetector) setBlock(v VID, b int) {
+	d.stamp[v] = d.epoch
+	d.blocked[v] = int32(b)
+}
+
+// FindFrom returns one constrained cycle through s (start vertex first), or
+// nil if none exists in the active subgraph.
+func (d *BlockDetector) FindFrom(s VID) []VID {
+	d.Stats.Queries++
+	if !d.isActive(s) {
+		return nil
+	}
+	d.onPath.nextEpoch()
+	d.epoch++
+	if d.epoch == 0 { // uint32 wraparound: invalidate all stamps
+		for i := range d.stamp {
+			d.stamp[i] = 0
+		}
+		d.epoch = 1
+	}
+	d.path = d.path[:0]
+	d.path = append(d.path, s)
+	d.onPath.set(s)
+	d.Stats.Pushes++
+	if d.search(s, s, 0) {
+		d.Stats.CyclesFound++
+		cyc := make([]VID, len(d.path))
+		copy(cyc, d.path)
+		return cyc
+	}
+	return nil
+}
+
+// HasCycleThrough reports whether any constrained cycle passes through s.
+func (d *BlockDetector) HasCycleThrough(s VID) bool {
+	return d.FindFrom(s) != nil
+}
+
+func (d *BlockDetector) search(s, u VID, depth int) bool {
+	pess := d.k - depth + 1
+	if u != s {
+		// Pessimistic bound, valid if this subtree fails (Alg. 9 line 3).
+		d.setBlock(u, pess)
+	}
+	for _, w := range d.g.Out(u) {
+		d.Stats.EdgeScans++
+		if w == s {
+			if depth+1 >= d.minLen {
+				return true
+			}
+			// Rejected short cycle (u -> s is a 2-cycle edge, only possible
+			// at depth 1 with minLen=3): u still reaches s in 1 hop. Record
+			// the fact now; the transitive repair happens at pop time below.
+			d.setBlock(u, 1)
+			continue
+		}
+		if !d.isActive(w) || d.onPath.get(w) {
+			continue
+		}
+		if depth+1 > d.k-1 {
+			continue
+		}
+		if depth+1+d.block(w) > d.k {
+			continue // barrier prune (Alg. 9 line 13)
+		}
+		d.path = append(d.path, w)
+		d.onPath.set(w)
+		d.Stats.Pushes++
+		if d.search(s, w, depth+1) {
+			return true
+		}
+		d.path = d.path[:len(d.path)-1]
+		d.onPath.unset(w)
+	}
+	// Pop-time repair (deviation from Alg. 9, documented in DESIGN.md):
+	// if a rejected 2-cycle proved a short return path from u, blocks set
+	// inside u's subtree — while u was unavailable on the stack — may
+	// overestimate now that u is leaving the stack. Propagating the relaxed
+	// bound transitively over in-edges restores the invariant. Doing this
+	// only at rejection time (as in the paper's line 7) is too early: it
+	// cannot repair blocks that are assigned later in the subtree.
+	if u != s && d.block(u) < pess {
+		d.unblock(u, d.block(u))
+	}
+	return false
+}
+
+// unblock lowers block[u] to l and relaxes in-neighbors transitively
+// (Alg. 10). Lowering a block is always safe: blocks are lower bounds.
+func (d *BlockDetector) unblock(u VID, l int) {
+	d.Stats.Unblocks++
+	d.setBlock(u, l)
+	for _, v := range d.g.In(u) {
+		if !d.isActive(v) || d.onPath.get(v) {
+			continue
+		}
+		if d.block(v) > l+1 {
+			d.unblock(v, l+1)
+		}
+	}
+}

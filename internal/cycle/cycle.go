@@ -1,0 +1,220 @@
+// Package cycle implements the constrained-cycle detection primitives the
+// cover algorithms are built on:
+//
+//   - PlainDetector: the paper's FindCycle (Alg. 5), a bounded DFS that
+//     returns one constrained cycle through a start vertex, used by the
+//     bottom-up cover and by the unoptimized top-down cover (TDB).
+//   - BlockDetector: the paper's NodeNecessary + Unblock (Alg. 9-10), the
+//     block/barrier-based detector with O(k*m) worst-case time per query,
+//     used by TDB+ and TDB++.
+//   - BFSFilter: the paper's BFS-filter (Alg. 11), a linear-time test that
+//     soundly proves the absence of any constrained cycle through a vertex.
+//   - Enumerator: a bounded enumeration of all constrained cycles, used as a
+//     test oracle and by the DARC baseline.
+//
+// All detectors operate on an immutable digraph.Graph plus an optional
+// active-vertex mask, so the cover algorithms can grow or shrink their
+// working graph in O(1) per step.
+//
+// Cycle-length conventions follow the paper: a cycle's length is its number
+// of vertices (= edges); self-loops never count (the graph builder drops
+// them); cycles of length 2 (bidirectional edges) are excluded by default
+// (MinLen = 3) and included when MinLen = 2 (the paper's Table IV variant).
+package cycle
+
+import (
+	"fmt"
+
+	"tdb/internal/digraph"
+)
+
+// VID aliases digraph.VID for brevity.
+type VID = digraph.VID
+
+// DefaultMinLen is the minimum cycle length of the paper's core problem:
+// self-loops and 2-cycles are not considered cycles.
+const DefaultMinLen = 3
+
+// Stats aggregates work counters across detector queries. Counters are plain
+// ints because every algorithm in this repository is single-threaded, as in
+// the paper.
+type Stats struct {
+	Queries     int64 // detector invocations
+	Pushes      int64 // DFS stack pushes
+	EdgeScans   int64 // adjacency entries examined
+	Unblocks    int64 // Unblock propagation steps (block detector only)
+	CyclesFound int64 // queries that found a constrained cycle
+	BFSVisited  int64 // vertices settled by the BFS filter
+	BFSPruned   int64 // queries the BFS filter pruned
+}
+
+// Add accumulates o into s.
+func (s *Stats) Add(o Stats) {
+	s.Queries += o.Queries
+	s.Pushes += o.Pushes
+	s.EdgeScans += o.EdgeScans
+	s.Unblocks += o.Unblocks
+	s.CyclesFound += o.CyclesFound
+	s.BFSVisited += o.BFSVisited
+	s.BFSPruned += o.BFSPruned
+}
+
+func validate(g *digraph.Graph, k, minLen int, active []bool) {
+	if minLen < 2 {
+		panic(fmt.Sprintf("cycle: minLen %d < 2", minLen))
+	}
+	if k < minLen {
+		panic(fmt.Sprintf("cycle: hop constraint k=%d < minLen=%d", k, minLen))
+	}
+	if active != nil && len(active) != g.NumVertices() {
+		panic(fmt.Sprintf("cycle: active mask length %d != n %d", len(active), g.NumVertices()))
+	}
+}
+
+// Unconstrained returns the hop bound that makes a detector equivalent to
+// the paper's "cycle cover without constraints" variant (Sec. VI-C): no
+// simple cycle can be longer than n, so k = n removes the constraint.
+func Unconstrained(g *digraph.Graph) int {
+	n := g.NumVertices()
+	if n < DefaultMinLen {
+		return DefaultMinLen
+	}
+	return n
+}
+
+// epochMark implements O(1)-reset boolean/integer maps over vertices.
+// A slot is valid only when its stamp equals the current epoch.
+type epochMark struct {
+	stamp []uint32
+	cur   uint32
+}
+
+func newEpochMark(n int) epochMark {
+	return epochMark{stamp: make([]uint32, n), cur: 0}
+}
+
+// nextEpoch invalidates all marks in O(1) (amortized; a wraparound clears).
+func (e *epochMark) nextEpoch() {
+	e.cur++
+	if e.cur == 0 { // wrapped: clear and restart
+		for i := range e.stamp {
+			e.stamp[i] = 0
+		}
+		e.cur = 1
+	}
+}
+
+func (e *epochMark) set(v VID)      { e.stamp[v] = e.cur }
+func (e *epochMark) unset(v VID)    { e.stamp[v] = e.cur - 1 }
+func (e *epochMark) get(v VID) bool { return e.stamp[v] == e.cur }
+
+// PlainDetector finds one constrained cycle through a start vertex with a
+// bounded DFS (the paper's Alg. 5). Worst case O(n^k) per query; in practice
+// it terminates at the first cycle found.
+type PlainDetector struct {
+	g      *digraph.Graph
+	k      int
+	minLen int
+	active []bool
+
+	onPath epochMark
+	path   []VID
+
+	// Cancelled, when non-nil, is polled periodically inside the DFS; a
+	// true return aborts the current query (FindFrom then returns nil and
+	// WasAborted reports true). Without it a single worst-case O(n^k)
+	// query could outlive any caller-side timeout.
+	Cancelled func() bool
+	aborted   bool
+
+	Stats Stats
+}
+
+// WasAborted reports whether the most recent query was cut short by the
+// Cancelled hook; its nil result is then inconclusive.
+func (d *PlainDetector) WasAborted() bool {
+	return d.aborted
+}
+
+// NewPlainDetector creates a detector for cycles of length in [minLen, k]
+// over the subgraph induced by active (nil = whole graph). The active slice
+// is retained, not copied, so mask updates are visible to later queries.
+func NewPlainDetector(g *digraph.Graph, k, minLen int, active []bool) *PlainDetector {
+	validate(g, k, minLen, active)
+	return &PlainDetector{
+		g: g, k: k, minLen: minLen, active: active,
+		onPath: newEpochMark(g.NumVertices()),
+		path:   make([]VID, 0, k+1),
+	}
+}
+
+func (d *PlainDetector) isActive(v VID) bool {
+	return d.active == nil || d.active[v]
+}
+
+// FindFrom returns one constrained cycle through s as a vertex sequence
+// (start vertex first, no repetition of the start at the end), or nil if no
+// constrained cycle through s exists in the active subgraph.
+func (d *PlainDetector) FindFrom(s VID) []VID {
+	d.Stats.Queries++
+	d.aborted = false
+	if !d.isActive(s) {
+		return nil
+	}
+	d.onPath.nextEpoch()
+	d.path = d.path[:0]
+	d.path = append(d.path, s)
+	d.onPath.set(s)
+	d.Stats.Pushes++
+	if d.search(s, s, 0) {
+		d.Stats.CyclesFound++
+		cyc := make([]VID, len(d.path))
+		copy(cyc, d.path)
+		return cyc
+	}
+	return nil
+}
+
+// HasCycleThrough reports whether any constrained cycle passes through s.
+func (d *PlainDetector) HasCycleThrough(s VID) bool {
+	return d.FindFrom(s) != nil
+}
+
+// search extends the current path (ending at u, with depth edges) by one
+// vertex. It returns true as soon as a constrained cycle is found, leaving
+// the cycle in d.path.
+func (d *PlainDetector) search(s, u VID, depth int) bool {
+	for _, w := range d.g.Out(u) {
+		d.Stats.EdgeScans++
+		if d.Stats.EdgeScans%4096 == 0 && d.Cancelled != nil && d.Cancelled() {
+			d.aborted = true
+			return false
+		}
+		if w == s {
+			if depth+1 >= d.minLen { // depth+1 <= k holds by the push bound
+				return true
+			}
+			continue // cycle shorter than minLen (a 2-cycle): rejected
+		}
+		if !d.isActive(w) || d.onPath.get(w) {
+			continue
+		}
+		// A cycle through w would have length >= depth+2, so only descend
+		// while depth+1 <= k-1.
+		if depth+1 > d.k-1 {
+			continue
+		}
+		d.path = append(d.path, w)
+		d.onPath.set(w)
+		d.Stats.Pushes++
+		if d.search(s, w, depth+1) {
+			return true
+		}
+		d.path = d.path[:len(d.path)-1]
+		d.onPath.unset(w)
+		if d.aborted {
+			return false
+		}
+	}
+	return false
+}

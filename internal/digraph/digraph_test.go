@@ -1,0 +1,286 @@
+package digraph
+
+import (
+	"math/rand/v2"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).Build()
+	if g.NumVertices() != 0 || g.NumEdges() != 0 {
+		t.Fatalf("empty graph has n=%d m=%d", g.NumVertices(), g.NumEdges())
+	}
+	if g.AvgDegree() != 0 {
+		t.Fatalf("empty graph AvgDegree = %v, want 0", g.AvgDegree())
+	}
+}
+
+func TestBuilderBasic(t *testing.T) {
+	b := NewBuilder(3)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	g := b.Build()
+	if g.NumVertices() != 3 {
+		t.Fatalf("n = %d, want 3", g.NumVertices())
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("m = %d, want 3", g.NumEdges())
+	}
+	if !g.HasEdge(0, 1) || !g.HasEdge(1, 2) || !g.HasEdge(2, 0) {
+		t.Fatal("missing expected edges")
+	}
+	if g.HasEdge(1, 0) {
+		t.Fatal("unexpected reverse edge")
+	}
+}
+
+func TestBuilderDropsSelfLoops(t *testing.T) {
+	b := NewBuilder(2)
+	b.AddEdge(0, 0)
+	b.AddEdge(0, 1)
+	g := b.Build()
+	if g.NumEdges() != 1 {
+		t.Fatalf("m = %d, want 1 (self-loop dropped)", g.NumEdges())
+	}
+}
+
+func TestBuilderKeepSelfLoops(t *testing.T) {
+	b := NewBuilder(1)
+	b.KeepSelfLoops = true
+	b.AddEdge(0, 0)
+	g := b.Build()
+	if g.NumEdges() != 1 || !g.HasEdge(0, 0) {
+		t.Fatal("self-loop should be kept when KeepSelfLoops is set")
+	}
+}
+
+func TestBuilderDeduplicates(t *testing.T) {
+	b := NewBuilder(2)
+	for i := 0; i < 5; i++ {
+		b.AddEdge(0, 1)
+	}
+	g := b.Build()
+	if g.NumEdges() != 1 {
+		t.Fatalf("m = %d, want 1 after dedup", g.NumEdges())
+	}
+}
+
+func TestBuilderGrowsVertexCount(t *testing.T) {
+	b := NewBuilder(0)
+	b.AddEdge(5, 9)
+	g := b.Build()
+	if g.NumVertices() != 10 {
+		t.Fatalf("n = %d, want 10", g.NumVertices())
+	}
+	if d := g.OutDegree(5); d != 1 {
+		t.Fatalf("outdeg(5) = %d, want 1", d)
+	}
+	if d := g.InDegree(9); d != 1 {
+		t.Fatalf("indeg(9) = %d, want 1", d)
+	}
+	if d := g.OutDegree(0); d != 0 {
+		t.Fatalf("outdeg(0) = %d, want 0", d)
+	}
+}
+
+func TestBuildTwicePanics(t *testing.T) {
+	b := NewBuilder(1)
+	b.Build()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("second Build should panic")
+		}
+	}()
+	b.Build()
+}
+
+func TestEnsureVertices(t *testing.T) {
+	b := NewBuilder(2)
+	b.EnsureVertices(7)
+	b.EnsureVertices(3) // no shrink
+	if g := b.Build(); g.NumVertices() != 7 {
+		t.Fatalf("n = %d, want 7", g.NumVertices())
+	}
+}
+
+func randomGraph(rng *rand.Rand, n, m int) *Graph {
+	b := NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(VID(rng.IntN(n)), VID(rng.IntN(n)))
+	}
+	return b.Build()
+}
+
+// The out-CSR and in-CSR must describe the same edge set.
+func TestInOutDuality(t *testing.T) {
+	rng := rand.New(rand.NewPCG(1, 2))
+	for iter := 0; iter < 50; iter++ {
+		n := 1 + rng.IntN(40)
+		g := randomGraph(rng, n, rng.IntN(4*n))
+		fromOut := map[Edge]bool{}
+		for v := 0; v < n; v++ {
+			for _, w := range g.Out(VID(v)) {
+				fromOut[Edge{VID(v), w}] = true
+			}
+		}
+		fromIn := map[Edge]bool{}
+		for v := 0; v < n; v++ {
+			for _, u := range g.In(VID(v)) {
+				fromIn[Edge{u, VID(v)}] = true
+			}
+		}
+		if !reflect.DeepEqual(fromOut, fromIn) {
+			t.Fatalf("iter %d: out-CSR and in-CSR disagree", iter)
+		}
+		if len(fromOut) != g.NumEdges() {
+			t.Fatalf("iter %d: NumEdges=%d but %d distinct edges", iter, g.NumEdges(), len(fromOut))
+		}
+	}
+}
+
+func TestAdjacencySorted(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 4))
+	g := randomGraph(rng, 60, 400)
+	for v := 0; v < g.NumVertices(); v++ {
+		out := g.Out(VID(v))
+		if !sort.SliceIsSorted(out, func(i, j int) bool { return out[i] < out[j] }) {
+			t.Fatalf("out-adjacency of %d not sorted: %v", v, out)
+		}
+		in := g.In(VID(v))
+		if !sort.SliceIsSorted(in, func(i, j int) bool { return in[i] < in[j] }) {
+			t.Fatalf("in-adjacency of %d not sorted: %v", v, in)
+		}
+	}
+}
+
+func TestHasEdgeAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewPCG(5, 6))
+	n := 30
+	g := randomGraph(rng, n, 150)
+	want := map[Edge]bool{}
+	for _, e := range g.Edges() {
+		want[e] = true
+	}
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if g.HasEdge(VID(u), VID(v)) != want[Edge{VID(u), VID(v)}] {
+				t.Fatalf("HasEdge(%d,%d) mismatch", u, v)
+			}
+		}
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 8))
+	g := randomGraph(rng, 25, 120)
+	tr := g.Transpose()
+	if tr.NumVertices() != g.NumVertices() || tr.NumEdges() != g.NumEdges() {
+		t.Fatal("transpose changed counts")
+	}
+	for _, e := range g.Edges() {
+		if !tr.HasEdge(e.V, e.U) {
+			t.Fatalf("transpose missing reversed edge %v", e)
+		}
+	}
+	// Double transpose restores the original edge set.
+	trtr := tr.Transpose()
+	if !reflect.DeepEqual(trtr.Edges(), g.Edges()) {
+		t.Fatal("double transpose != original")
+	}
+}
+
+func TestInducedSubgraph(t *testing.T) {
+	//    0 -> 1 -> 2 -> 0 ;  2 -> 3
+	g := FromEdges(4, []Edge{{0, 1}, {1, 2}, {2, 0}, {2, 3}})
+	sub, oldID := g.InducedSubgraph([]bool{true, false, true, true})
+	if sub.NumVertices() != 3 {
+		t.Fatalf("sub n = %d, want 3", sub.NumVertices())
+	}
+	// Kept vertices 0,2,3 become 0,1,2. Surviving edges: 2->0 and 2->3.
+	if !reflect.DeepEqual(oldID, []VID{0, 2, 3}) {
+		t.Fatalf("oldID = %v", oldID)
+	}
+	wantEdges := []Edge{{1, 0}, {1, 2}}
+	if !reflect.DeepEqual(sub.Edges(), wantEdges) {
+		t.Fatalf("sub edges = %v, want %v", sub.Edges(), wantEdges)
+	}
+}
+
+func TestInducedSubgraphBadMaskPanics(t *testing.T) {
+	g := FromEdges(2, []Edge{{0, 1}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for wrong mask length")
+		}
+	}()
+	g.InducedSubgraph([]bool{true})
+}
+
+func TestEdgesLexOrder(t *testing.T) {
+	g := FromEdges(4, []Edge{{3, 0}, {1, 2}, {1, 0}, {0, 3}})
+	edges := g.Edges()
+	if !sort.SliceIsSorted(edges, func(i, j int) bool {
+		if edges[i].U != edges[j].U {
+			return edges[i].U < edges[j].U
+		}
+		return edges[i].V < edges[j].V
+	}) {
+		t.Fatalf("edges not in lex order: %v", edges)
+	}
+}
+
+// Property: building from any edge list yields degree sums equal to m.
+func TestDegreeSumsProperty(t *testing.T) {
+	f := func(raw []uint16) bool {
+		b := NewBuilder(0)
+		for i := 0; i+1 < len(raw); i += 2 {
+			b.AddEdge(VID(raw[i]%97), VID(raw[i+1]%97))
+		}
+		g := b.Build()
+		var outSum, inSum int
+		for v := 0; v < g.NumVertices(); v++ {
+			outSum += g.OutDegree(VID(v))
+			inSum += g.InDegree(VID(v))
+		}
+		return outSum == g.NumEdges() && inSum == g.NumEdges()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVertexMask(t *testing.T) {
+	m := NewVertexMask(4, false)
+	if m.NumActive() != 0 || m.Len() != 4 {
+		t.Fatal("fresh inactive mask wrong")
+	}
+	if !m.Activate(2) || m.Activate(2) {
+		t.Fatal("Activate change-reporting wrong")
+	}
+	if m.NumActive() != 1 || !m.Active(2) {
+		t.Fatal("activation not recorded")
+	}
+	if !m.Deactivate(2) || m.Deactivate(2) {
+		t.Fatal("Deactivate change-reporting wrong")
+	}
+	if m.NumActive() != 0 {
+		t.Fatal("deactivation not recorded")
+	}
+
+	all := NewVertexMask(3, true)
+	if all.NumActive() != 3 {
+		t.Fatal("all-active mask wrong")
+	}
+	c := all.Clone()
+	c.Deactivate(0)
+	if !all.Active(0) || c.Active(0) {
+		t.Fatal("Clone is not independent")
+	}
+	if len(all.Raw()) != 3 {
+		t.Fatal("Raw length wrong")
+	}
+}

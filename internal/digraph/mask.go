@@ -1,0 +1,81 @@
+package digraph
+
+// VertexMask is a dynamic active/inactive overlay on an immutable Graph.
+//
+// Deactivating a vertex hides the vertex and every edge incident to it, which
+// is exactly the mutation both cover processes need:
+//
+//   - the bottom-up cover (BUR) starts from the full graph and removes the
+//     in- and out-edges of each chosen cover vertex (Alg. 4 line 10);
+//   - the top-down cover (TDB) starts from the empty graph and inserts the
+//     edges of one candidate vertex at a time (Alg. 8 line 3), removing them
+//     again when the candidate is kept in the cover (line 8).
+//
+// Using a mask instead of physically editing CSR arrays makes both
+// activation and deactivation O(1) and keeps the underlying graph shared.
+type VertexMask struct {
+	active []bool
+	count  int
+}
+
+// NewVertexMask returns a mask over n vertices, all active if allActive is
+// true and all inactive otherwise.
+func NewVertexMask(n int, allActive bool) *VertexMask {
+	m := &VertexMask{active: make([]bool, n)}
+	if allActive {
+		for i := range m.active {
+			m.active[i] = true
+		}
+		m.count = n
+	}
+	return m
+}
+
+// Active reports whether v is active.
+func (m *VertexMask) Active(v VID) bool {
+	return m.active[v]
+}
+
+// Activate makes v active. It reports whether the state changed.
+func (m *VertexMask) Activate(v VID) bool {
+	if m.active[v] {
+		return false
+	}
+	m.active[v] = true
+	m.count++
+	return true
+}
+
+// Deactivate makes v inactive. It reports whether the state changed.
+func (m *VertexMask) Deactivate(v VID) bool {
+	if !m.active[v] {
+		return false
+	}
+	m.active[v] = false
+	m.count--
+	return true
+}
+
+// NumActive returns the number of active vertices.
+func (m *VertexMask) NumActive() int {
+	return m.count
+}
+
+// Len returns the number of vertices covered by the mask.
+func (m *VertexMask) Len() int {
+	return len(m.active)
+}
+
+// Raw exposes the underlying active slice for hot loops. Callers must treat
+// it as read-only; use Activate/Deactivate for changes so the count stays
+// consistent.
+func (m *VertexMask) Raw() []bool {
+	return m.active
+}
+
+// Clone returns an independent copy of the mask.
+func (m *VertexMask) Clone() *VertexMask {
+	c := &VertexMask{active: make([]bool, len(m.active)), count: m.count}
+	copy(c.active, m.active)
+	return c
+}

@@ -1,0 +1,252 @@
+package exp
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"tdb/internal/core"
+	"tdb/internal/gen"
+)
+
+// tinyConfig keeps harness tests fast while still exercising every code
+// path, with verification on.
+func tinyConfig() Config {
+	c := QuickConfig()
+	c.Scale = 0.002
+	c.SweepScale = 0.002
+	c.LargeEdges = 3000
+	c.KMax = 4
+	c.Timeout = 3 * time.Second
+	c.Verify = true
+	return c
+}
+
+func TestTable2(t *testing.T) {
+	tab := Table2(tinyConfig())
+	if len(tab.Rows) != 16 {
+		t.Fatalf("rows = %d, want 16", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if r.Cells[2].Size <= 0 || r.Cells[3].Size <= 0 {
+			t.Fatalf("%s: empty generated graph", r.Dataset)
+		}
+	}
+}
+
+func TestTable3ShapeTiny(t *testing.T) {
+	tab := Table3(tinyConfig())
+	if len(tab.Rows) != 16 {
+		t.Fatalf("rows = %d, want 16", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		if len(r.Cells) != 3 {
+			t.Fatalf("%s: %d cells", r.Dataset, len(r.Cells))
+		}
+		tdbpp := r.Cells[2]
+		if tdbpp.Skipped {
+			t.Fatalf("%s: TDB++ must never be skipped", r.Dataset)
+		}
+		last4 := map[string]bool{"FLK": true, "LJ": true, "WKP": true, "TW": true}
+		if last4[r.Dataset] {
+			if !r.Cells[0].Skipped || !r.Cells[1].Skipped {
+				t.Fatalf("%s: baselines must be skipped on large datasets", r.Dataset)
+			}
+		} else if r.Cells[0].Skipped || r.Cells[1].Skipped {
+			t.Fatalf("%s: baselines must run on standard datasets", r.Dataset)
+		}
+	}
+}
+
+func TestTable4RatiosAtLeastOne(t *testing.T) {
+	tab := Table4(tinyConfig())
+	if len(tab.Rows) != 12 {
+		t.Fatalf("rows = %d, want 12", len(tab.Rows))
+	}
+	for _, r := range tab.Rows {
+		no2, with2 := r.Cells[0], r.Cells[1]
+		if no2.TimedOut || with2.TimedOut {
+			continue
+		}
+		if with2.Size < no2.Size {
+			t.Fatalf("%s: with-2-cycles cover %d smaller than without %d",
+				r.Dataset, with2.Size, no2.Size)
+		}
+	}
+}
+
+func TestFig67SweepMonotoneInK(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.KMin, cfg.KMax = 3, 5
+	t6, t7 := Fig67(cfg)
+	if len(t6.Rows) != 12*3 || len(t7.Rows) != 12*3 {
+		t.Fatalf("sweep rows = %d/%d, want 36 each", len(t6.Rows), len(t7.Rows))
+	}
+	// Cover sizes must not shrink as k grows (more cycles to cover) for
+	// the minimal algorithms; allow equality.
+	byDataset := map[string][]Row{}
+	for _, r := range t7.Rows {
+		byDataset[r.Dataset] = append(byDataset[r.Dataset], r)
+	}
+	for ds, rows := range byDataset {
+		for i := 1; i < len(rows); i++ {
+			prev, cur := rows[i-1].Cells[2], rows[i].Cells[2] // TDB++
+			if prev.TimedOut || cur.TimedOut {
+				continue
+			}
+			if cur.Size < prev.Size {
+				// Minimal covers are heuristic; tiny fluctuations are
+				// possible in principle, but a big drop indicates a bug.
+				if prev.Size-cur.Size > prev.Size/4+2 {
+					t.Fatalf("%s: TDB++ cover shrank sharply with k: %d -> %d",
+						ds, prev.Size, cur.Size)
+				}
+			}
+		}
+	}
+}
+
+func TestFig89AndFig10(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.KMin, cfg.KMax = 3, 4
+	t8, t9 := Fig89(cfg)
+	if len(t8.Rows) != 4 || len(t9.Rows) != 4 {
+		t.Fatalf("fig8/9 rows = %d/%d, want 4", len(t8.Rows), len(t9.Rows))
+	}
+	for i, r := range t9.Rows {
+		bur, burP := r.Cells[0], r.Cells[1]
+		if bur.TimedOut || burP.TimedOut {
+			continue
+		}
+		if burP.Size > bur.Size {
+			t.Fatalf("row %d: BUR+ cover %d larger than BUR %d", i, burP.Size, bur.Size)
+		}
+	}
+	t10 := Fig10(cfg)
+	for i, r := range t10.Rows {
+		a, b, c := r.Cells[0], r.Cells[1], r.Cells[2]
+		if a.TimedOut || b.TimedOut || c.TimedOut {
+			continue
+		}
+		if a.Size != b.Size || b.Size != c.Size {
+			t.Fatalf("row %d: TDB variants disagree on size: %d/%d/%d", i, a.Size, b.Size, c.Size)
+		}
+	}
+}
+
+func TestAblations(t *testing.T) {
+	cfg := tinyConfig()
+	ord := AblationOrder(cfg)
+	if len(ord.Rows) != 4 || len(ord.Columns) != 4 {
+		t.Fatalf("order ablation shape wrong: %dx%d", len(ord.Rows), len(ord.Columns))
+	}
+	sccT := AblationSCC(cfg)
+	for _, r := range sccT.Rows {
+		off, on := r.Cells[0], r.Cells[1]
+		if off.TimedOut || on.TimedOut {
+			continue
+		}
+		if off.Size != on.Size {
+			t.Fatalf("%s: SCC prefilter changed the cover: %d vs %d", r.Dataset, off.Size, on.Size)
+		}
+	}
+	nh := NoHop(cfg)
+	for _, r := range nh.Rows {
+		k5, kn := r.Cells[0], r.Cells[1]
+		if k5.TimedOut || kn.TimedOut {
+			continue
+		}
+		if kn.Size < k5.Size {
+			t.Fatalf("%s: unconstrained cover %d smaller than k=5 cover %d",
+				r.Dataset, kn.Size, k5.Size)
+		}
+	}
+}
+
+func TestExtensionExperiments(t *testing.T) {
+	cfg := tinyConfig()
+	edge := EdgeAblation(cfg)
+	if len(edge.Rows) != 4 {
+		t.Fatalf("edge rows = %d", len(edge.Rows))
+	}
+	for _, r := range edge.Rows {
+		darc, tdbe := r.Cells[0], r.Cells[1]
+		if darc.TimedOut || tdbe.TimedOut {
+			continue
+		}
+		if tdbe.Size == 0 && darc.Size > 0 {
+			t.Fatalf("%s: TDB-E found nothing while DARC selected %d", r.Dataset, darc.Size)
+		}
+	}
+	par := ParallelAblation(cfg)
+	for _, r := range par.Rows {
+		seq, p := r.Cells[0], r.Cells[1]
+		if seq.TimedOut || p.TimedOut {
+			continue
+		}
+		// Disjoint planted cycles: identical cover sizes.
+		if seq.Size != p.Size {
+			t.Fatalf("%s: parallel size %d != sequential %d", r.Dataset, p.Size, seq.Size)
+		}
+	}
+}
+
+func TestRunDispatcherAndPrinting(t *testing.T) {
+	cfg := tinyConfig()
+	var buf bytes.Buffer
+	cfg.Out = &buf
+	tables, err := Run("table4", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tables) != 1 {
+		t.Fatalf("tables = %d", len(tables))
+	}
+	out := buf.String()
+	if !strings.Contains(out, "table4") || !strings.Contains(out, "WKV") {
+		t.Fatalf("printed output missing pieces:\n%s", out)
+	}
+	if _, err := Run("bogus", cfg); err == nil {
+		t.Fatal("unknown experiment must error")
+	}
+	for _, id := range Experiments() {
+		if id == "" {
+			t.Fatal("empty experiment id")
+		}
+	}
+}
+
+func TestCellStrings(t *testing.T) {
+	if s := (Cell{Size: 42, Time: 1500 * time.Millisecond}).SizeString(); s != "42" {
+		t.Fatalf("SizeString = %q", s)
+	}
+	if s := (Cell{TimedOut: true}).SizeString(); s != "INF" {
+		t.Fatalf("INF size = %q", s)
+	}
+	if s := (Cell{Skipped: true}).TimeString(); s != "-" {
+		t.Fatalf("skipped time = %q", s)
+	}
+	if s := (Cell{Size: 1, Time: 2 * time.Second}).TimeString(); s != "2.000" {
+		t.Fatalf("TimeString = %q", s)
+	}
+}
+
+func TestTimeoutProducesINF(t *testing.T) {
+	cfg := tinyConfig()
+	cfg.Scale = 0.05
+	cfg.Timeout = 1 * time.Millisecond
+	cfg.Verify = false
+	d, ok := gen.DatasetByName("WGO")
+	if !ok {
+		t.Fatal("WGO missing")
+	}
+	g := cfg.genDataset(d, false)
+	cell := cfg.run(g, core.BURPlus, 5, 0)
+	if !cell.TimedOut {
+		t.Fatal("1ms timeout must trip on a 250k-edge graph")
+	}
+	if cell.SizeString() != "INF" {
+		t.Fatalf("SizeString = %q", cell.SizeString())
+	}
+}

@@ -1,0 +1,252 @@
+// Package gen produces the synthetic workloads for tests, examples, and the
+// experiment harness.
+//
+// The paper evaluates on 16 real SNAP/KONECT graphs (its Table II). Those
+// datasets are not available offline, so this repository substitutes seeded
+// synthetic stand-ins with matched vertex count, edge count, degree skew and
+// edge reciprocity (see registry.go and DESIGN.md section 4). The generators
+// here are deliberately simple, fast and deterministic: every function is a
+// pure function of its parameters and seed.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand/v2"
+
+	"tdb/internal/digraph"
+)
+
+// VID aliases digraph.VID.
+type VID = digraph.VID
+
+func newRNG(seed uint64) *rand.Rand {
+	return rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+}
+
+// ErdosRenyi generates a directed G(n, m) graph: m distinct uniformly random
+// directed edges, no self-loops. It panics if m exceeds n*(n-1).
+func ErdosRenyi(n, m int, seed uint64) *digraph.Graph {
+	if n < 2 && m > 0 {
+		panic("gen: ErdosRenyi needs n >= 2 to place edges")
+	}
+	maxM := int64(n) * int64(n-1)
+	if int64(m) > maxM {
+		panic(fmt.Sprintf("gen: ErdosRenyi m=%d exceeds n(n-1)=%d", m, maxM))
+	}
+	rng := newRNG(seed)
+	b := digraph.NewBuilder(n)
+	seen := make(map[uint64]struct{}, m)
+	for len(seen) < m {
+		u := VID(rng.IntN(n))
+		v := VID(rng.IntN(n))
+		if u == v {
+			continue
+		}
+		key := uint64(u)<<32 | uint64(v)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		b.AddEdge(u, v)
+	}
+	return b.Build()
+}
+
+// PowerLaw generates a directed graph with approximately m edges whose
+// degree distribution is right-skewed, Chung–Lu style. Endpoints are drawn
+// as floor(n * u^skew) for uniform u, which concentrates probability mass on
+// low vertex IDs; skew = 1 is uniform, larger values produce heavier hubs
+// (density ~ i^(1/skew - 1)). With probability reciprocity the reverse edge
+// is also inserted, which controls the number of 2-cycles — the knob behind
+// the paper's Table IV. Duplicates are merged, so the final edge count is
+// slightly below the target on dense settings.
+func PowerLaw(n, m int, skew, reciprocity float64, seed uint64) *digraph.Graph {
+	if n < 2 {
+		panic("gen: PowerLaw needs n >= 2")
+	}
+	if skew < 1 {
+		panic("gen: PowerLaw skew must be >= 1")
+	}
+	rng := newRNG(seed)
+	b := digraph.NewBuilder(n)
+	// Relabel through a random permutation: without it, vertex ID would
+	// correlate with degree (hubs at low IDs), which real datasets do not
+	// exhibit and which would bias every order-sensitive algorithm.
+	relabel := rng.Perm(n)
+	draw := func() VID {
+		x := math.Pow(rng.Float64(), skew)
+		v := int(x * float64(n))
+		if v >= n {
+			v = n - 1
+		}
+		return VID(relabel[v])
+	}
+	// The reverse edges count toward the target, so issue forward draws
+	// until the pending total reaches m.
+	for b.NumPendingEdges() < m {
+		u, v := draw(), draw()
+		if u == v {
+			continue
+		}
+		b.AddEdge(u, v)
+		if reciprocity > 0 && rng.Float64() < reciprocity {
+			b.AddEdge(v, u)
+		}
+	}
+	return b.Build()
+}
+
+// SmallWorld generates a directed ring lattice with long-range chords: each
+// vertex points at its next fwd successors, and with probability chordProb
+// each vertex also receives one random backward chord (v -> v-j for a random
+// j), which closes short cycles with the forward ring. This produces graphs
+// rich in hop-constrained cycles of many lengths, the regime where the
+// detectors' pruning matters most.
+func SmallWorld(n, fwd int, chordProb float64, seed uint64) *digraph.Graph {
+	if n < 3 {
+		panic("gen: SmallWorld needs n >= 3")
+	}
+	if fwd < 1 || fwd >= n {
+		panic("gen: SmallWorld fwd out of range")
+	}
+	rng := newRNG(seed)
+	b := digraph.NewBuilder(n)
+	for v := 0; v < n; v++ {
+		for d := 1; d <= fwd; d++ {
+			b.AddEdge(VID(v), VID((v+d)%n))
+		}
+		if rng.Float64() < chordProb {
+			j := 1 + rng.IntN(n-2)
+			b.AddEdge(VID(v), VID((v-j+n)%n))
+		}
+	}
+	return b.Build()
+}
+
+// Communities generates a planted-partition (SBM-style) digraph: numComm
+// communities of size commSize; every ordered intra-community pair gets an
+// edge with probability pIn, inter-community pairs with probability pOut.
+// Intended for modest sizes (it enumerates ordered pairs).
+func Communities(numComm, commSize int, pIn, pOut float64, seed uint64) *digraph.Graph {
+	if numComm < 1 || commSize < 1 {
+		panic("gen: Communities needs positive sizes")
+	}
+	n := numComm * commSize
+	rng := newRNG(seed)
+	b := digraph.NewBuilder(n)
+	for u := 0; u < n; u++ {
+		for v := 0; v < n; v++ {
+			if u == v {
+				continue
+			}
+			p := pOut
+			if u/commSize == v/commSize {
+				p = pIn
+			}
+			if rng.Float64() < p {
+				b.AddEdge(VID(u), VID(v))
+			}
+		}
+	}
+	return b.Build()
+}
+
+// Planted is the output of PlantedCycles: the graph plus the ground-truth
+// cycles that were implanted.
+type Planted struct {
+	Graph *digraph.Graph
+	// Cycles lists each implanted cycle as its vertex sequence.
+	Cycles [][]VID
+}
+
+// PlantedCycles implants numCycles vertex-disjoint directed cycles, with
+// lengths drawn uniformly from [minLen, maxLen], into a sparse random
+// background of bgEdges edges over n vertices. Background edges never run
+// between two vertices of the same planted cycle, so every planted cycle is
+// recoverable and, being vertex-disjoint, any valid cover has size >=
+// numCycles when maxLen <= k. Panics if the cycles do not fit in n vertices.
+func PlantedCycles(n, numCycles, minLen, maxLen, bgEdges int, seed uint64) *Planted {
+	if minLen < 2 || maxLen < minLen {
+		panic("gen: PlantedCycles bad length range")
+	}
+	if numCycles*maxLen > n {
+		panic("gen: PlantedCycles cycles do not fit")
+	}
+	rng := newRNG(seed)
+	perm := rng.Perm(n)
+	b := digraph.NewBuilder(n)
+	cycleOf := make([]int, n)
+	for i := range cycleOf {
+		cycleOf[i] = -1
+	}
+	p := &Planted{}
+	next := 0
+	for c := 0; c < numCycles; c++ {
+		length := minLen + rng.IntN(maxLen-minLen+1)
+		cyc := make([]VID, length)
+		for i := 0; i < length; i++ {
+			cyc[i] = VID(perm[next])
+			cycleOf[perm[next]] = c
+			next++
+		}
+		for i := 0; i < length; i++ {
+			b.AddEdge(cyc[i], cyc[(i+1)%length])
+		}
+		p.Cycles = append(p.Cycles, cyc)
+	}
+	for e := 0; e < bgEdges; e++ {
+		u := rng.IntN(n)
+		v := rng.IntN(n)
+		if u == v {
+			continue
+		}
+		if cycleOf[u] != -1 && cycleOf[u] == cycleOf[v] {
+			continue // keep planted cycles exactly as planted
+		}
+		b.AddEdge(VID(u), VID(v))
+	}
+	p.Graph = b.Build()
+	return p
+}
+
+// UndirectedEdge is an undirected edge of a vertex-cover instance.
+type UndirectedEdge struct {
+	U, V VID
+}
+
+// Gadget is the output of VertexCoverGadget.
+type Gadget struct {
+	Graph *digraph.Graph
+	// Virtual[i] is the ID of the helper vertex added for input edge i.
+	Virtual []VID
+	// N is the number of original vertices (IDs [0, N) are originals).
+	N int
+}
+
+// VertexCoverGadget builds the paper's NP-hardness construction (Fig. 2,
+// Theorem 2): for every undirected edge {u, v} it adds the bidirectional
+// pair u<->v, a fresh virtual vertex u', and bidirectional pairs u<->u' and
+// v<->u'. With k = 3 and 2-cycles excluded, the constrained cycles of the
+// gadget are exactly the two orientations of each triangle {u, v, u'}, and a
+// minimum hop-constrained cycle cover corresponds to a minimum vertex cover
+// of the input. Used as a test oracle for optimality experiments.
+func VertexCoverGadget(n int, edges []UndirectedEdge) *Gadget {
+	b := digraph.NewBuilder(n + len(edges))
+	g := &Gadget{N: n}
+	for i, e := range edges {
+		if int(e.U) >= n || int(e.V) >= n || e.U == e.V {
+			panic(fmt.Sprintf("gen: bad undirected edge %v for n=%d", e, n))
+		}
+		virt := VID(n + i)
+		g.Virtual = append(g.Virtual, virt)
+		b.AddEdge(e.U, e.V)
+		b.AddEdge(e.V, e.U)
+		b.AddEdge(e.U, virt)
+		b.AddEdge(virt, e.U)
+		b.AddEdge(e.V, virt)
+		b.AddEdge(virt, e.V)
+	}
+	g.Graph = b.Build()
+	return g
+}

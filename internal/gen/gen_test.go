@@ -1,0 +1,278 @@
+package gen
+
+import (
+	"reflect"
+	"sort"
+	"testing"
+
+	"tdb/internal/cycle"
+	"tdb/internal/digraph"
+)
+
+func TestErdosRenyiExactM(t *testing.T) {
+	g := ErdosRenyi(100, 500, 42)
+	if g.NumVertices() != 100 {
+		t.Fatalf("n = %d", g.NumVertices())
+	}
+	if g.NumEdges() != 500 {
+		t.Fatalf("m = %d, want exactly 500", g.NumEdges())
+	}
+	for _, e := range g.Edges() {
+		if e.U == e.V {
+			t.Fatalf("self-loop %v", e)
+		}
+	}
+}
+
+func TestErdosRenyiDense(t *testing.T) {
+	// Full tournament-ish density must still terminate.
+	g := ErdosRenyi(10, 90, 7)
+	if g.NumEdges() != 90 {
+		t.Fatalf("m = %d, want 90", g.NumEdges())
+	}
+}
+
+func TestErdosRenyiPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for m > n(n-1)")
+		}
+	}()
+	ErdosRenyi(3, 7, 1)
+}
+
+func TestDeterminism(t *testing.T) {
+	builders := []func() *digraph.Graph{
+		func() *digraph.Graph { return ErdosRenyi(80, 300, 9) },
+		func() *digraph.Graph { return PowerLaw(200, 1000, 2.5, 0.3, 9) },
+		func() *digraph.Graph { return SmallWorld(120, 3, 0.4, 9) },
+		func() *digraph.Graph { return Communities(4, 20, 0.2, 0.01, 9) },
+		func() *digraph.Graph { return PlantedCycles(100, 5, 3, 6, 150, 9).Graph },
+	}
+	for i, f := range builders {
+		a, b := f(), f()
+		if !reflect.DeepEqual(a.Edges(), b.Edges()) {
+			t.Fatalf("generator %d is not deterministic", i)
+		}
+	}
+	// Different seeds should give different graphs.
+	a := PowerLaw(200, 1000, 2.5, 0.3, 9)
+	b := PowerLaw(200, 1000, 2.5, 0.3, 10)
+	if reflect.DeepEqual(a.Edges(), b.Edges()) {
+		t.Fatal("different seeds produced identical graphs")
+	}
+}
+
+func countTwoCycles(g *digraph.Graph) int {
+	c := 0
+	for _, e := range g.Edges() {
+		if e.U < e.V && g.HasEdge(e.V, e.U) {
+			c++
+		}
+	}
+	return c
+}
+
+func TestPowerLawShape(t *testing.T) {
+	g := PowerLaw(2000, 20000, 2.5, 0.0, 5)
+	if got := g.NumEdges(); got < 18000 || got > 20000 {
+		t.Fatalf("m = %d, want near 20000", got)
+	}
+	// Skewed draws concentrate degree on hubs: the top 10% of vertices by
+	// out-degree must hold well over 10% of the edges. (IDs are shuffled,
+	// so sort the degree sequence first.)
+	degs := make([]int, g.NumVertices())
+	for v := range degs {
+		degs[v] = g.OutDegree(digraph.VID(v))
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(degs)))
+	var top int
+	for _, d := range degs[:200] {
+		top += d
+	}
+	if frac := float64(top) / float64(g.NumEdges()); frac < 0.3 {
+		t.Fatalf("top-decile vertices hold only %.2f of out-edges; not skewed", frac)
+	}
+	// And IDs must NOT correlate with degree: the low-ID tenth should hold
+	// roughly a tenth of the edges.
+	var lowID int
+	for v := 0; v < 200; v++ {
+		lowID += g.OutDegree(digraph.VID(v))
+	}
+	if frac := float64(lowID) / float64(g.NumEdges()); frac > 0.2 {
+		t.Fatalf("low-ID vertices hold %.2f of out-edges; IDs correlate with degree", frac)
+	}
+}
+
+func TestPowerLawReciprocityControlsTwoCycles(t *testing.T) {
+	lo := countTwoCycles(PowerLaw(1000, 8000, 2.0, 0.0, 3))
+	hi := countTwoCycles(PowerLaw(1000, 8000, 2.0, 0.6, 3))
+	if hi <= 4*lo+10 {
+		t.Fatalf("reciprocity knob ineffective: lo=%d hi=%d", lo, hi)
+	}
+}
+
+func TestSmallWorldHasShortCycles(t *testing.T) {
+	g := SmallWorld(300, 2, 0.5, 11)
+	found := 0
+	det := cycle.NewPlainDetector(g, 6, 3, nil)
+	for v := 0; v < g.NumVertices(); v++ {
+		if det.HasCycleThrough(digraph.VID(v)) {
+			found++
+		}
+	}
+	if found < 20 {
+		t.Fatalf("only %d vertices on short cycles; small-world generator too acyclic", found)
+	}
+}
+
+func TestCommunitiesDensity(t *testing.T) {
+	g := Communities(3, 30, 0.3, 0.005, 13)
+	intra, inter := 0, 0
+	for _, e := range g.Edges() {
+		if int(e.U)/30 == int(e.V)/30 {
+			intra++
+		} else {
+			inter++
+		}
+	}
+	// 3*30*29 = 2610 intra pairs at 0.3 ≈ 780; 5400 inter pairs at 0.005 ≈ 27.
+	if intra < 500 || inter > 120 {
+		t.Fatalf("intra=%d inter=%d; block structure missing", intra, inter)
+	}
+}
+
+func TestPlantedCyclesRecoverable(t *testing.T) {
+	p := PlantedCycles(200, 8, 3, 6, 300, 17)
+	if len(p.Cycles) != 8 {
+		t.Fatalf("planted %d cycles, want 8", len(p.Cycles))
+	}
+	seen := map[VID]bool{}
+	for _, cyc := range p.Cycles {
+		if len(cyc) < 3 || len(cyc) > 6 {
+			t.Fatalf("cycle length %d outside [3,6]", len(cyc))
+		}
+		for i, v := range cyc {
+			if seen[v] {
+				t.Fatalf("cycles not vertex-disjoint at %d", v)
+			}
+			seen[v] = true
+			if !p.Graph.HasEdge(v, cyc[(i+1)%len(cyc)]) {
+				t.Fatalf("planted edge %d->%d missing", v, cyc[(i+1)%len(cyc)])
+			}
+		}
+	}
+}
+
+func TestPlantedCyclesPanicsWhenTooMany(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic when cycles do not fit")
+		}
+	}()
+	PlantedCycles(10, 4, 3, 3, 0, 1)
+}
+
+func TestVertexCoverGadget(t *testing.T) {
+	// Path a-b-c (two undirected edges).
+	gad := VertexCoverGadget(3, []UndirectedEdge{{0, 1}, {1, 2}})
+	g := gad.Graph
+	if g.NumVertices() != 5 {
+		t.Fatalf("n = %d, want 3 originals + 2 virtual", g.NumVertices())
+	}
+	if len(gad.Virtual) != 2 {
+		t.Fatalf("virtual = %v", gad.Virtual)
+	}
+	// Constrained cycles at k=3 are exactly the two orientations of each
+	// triangle {u, v, virtual}.
+	cnt := cycle.NewEnumerator(g, 3, 3, nil).Count()
+	if cnt != 4 {
+		t.Fatalf("triangle-orientation count = %d, want 4", cnt)
+	}
+	// No constrained cycle survives removing vertex b=1 (the min vertex
+	// cover of the path): b participates in every triangle.
+	active := []bool{true, false, true, true, true}
+	if cycle.NewEnumerator(g, 3, 3, active).HasAny() {
+		t.Fatal("removing the vertex-cover vertex must break all triangles")
+	}
+}
+
+func TestVertexCoverGadgetBadEdge(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range edge")
+		}
+	}()
+	VertexCoverGadget(2, []UndirectedEdge{{0, 5}})
+}
+
+func TestRegistry(t *testing.T) {
+	all := Datasets()
+	if len(all) != 16 {
+		t.Fatalf("registry has %d datasets, want 16", len(all))
+	}
+	std := StandardDatasets()
+	if len(std) != 12 {
+		t.Fatalf("standard datasets = %d, want 12", len(std))
+	}
+	names := map[string]bool{}
+	for _, d := range all {
+		if names[d.Name] {
+			t.Fatalf("duplicate dataset %s", d.Name)
+		}
+		names[d.Name] = true
+		if d.PaperV <= 0 || d.PaperE <= 0 {
+			t.Fatalf("%s: missing paper sizes", d.Name)
+		}
+	}
+	for _, want := range []string{"WKV", "TW", "WGO"} {
+		if _, ok := DatasetByName(want); !ok {
+			t.Fatalf("dataset %s missing", want)
+		}
+	}
+	if _, ok := DatasetByName("wkv"); !ok {
+		t.Fatal("lookup should be case-insensitive")
+	}
+	if _, ok := DatasetByName("NOPE"); ok {
+		t.Fatal("unknown dataset should not resolve")
+	}
+}
+
+func TestRegistryGenerateScales(t *testing.T) {
+	d, _ := DatasetByName("WKV")
+	g := d.Generate(0.2)
+	wantN := int(float64(d.PaperV) * 0.2)
+	if g.NumVertices() != wantN {
+		t.Fatalf("n = %d, want %d", g.NumVertices(), wantN)
+	}
+	// Average out-degree should be in the ballpark of the paper's m/n
+	// (Table II's davg is total degree 2m/n).
+	paperOut := float64(d.PaperE) / float64(d.PaperV)
+	if got := g.AvgDegree(); got < paperOut*0.5 || got > paperOut*1.2 {
+		t.Fatalf("avg out-degree %.1f, paper m/n %.1f", got, paperOut)
+	}
+	// Determinism across calls.
+	g2 := d.Generate(0.2)
+	if g.NumEdges() != g2.NumEdges() {
+		t.Fatal("dataset generation not deterministic")
+	}
+	// Tiny scale keeps a sane floor.
+	tiny := d.Generate(0.0001)
+	if tiny.NumVertices() < 16 {
+		t.Fatalf("tiny scale collapsed to n=%d", tiny.NumVertices())
+	}
+}
+
+func TestRegistryGenerateBadScale(t *testing.T) {
+	d, _ := DatasetByName("GNU")
+	for _, s := range []float64{0, -1, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("scale %v: expected panic", s)
+				}
+			}()
+			d.Generate(s)
+		}()
+	}
+}

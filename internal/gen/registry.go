@@ -1,0 +1,111 @@
+package gen
+
+import (
+	"fmt"
+	"strings"
+
+	"tdb/internal/digraph"
+)
+
+// Dataset is a named synthetic stand-in for one of the paper's Table II
+// graphs. PaperV/PaperE/PaperAvgDeg record the sizes the paper reports;
+// Generate produces a seeded graph with those sizes multiplied by a scale
+// factor, matching the original's average degree and an approximate degree
+// skew / edge reciprocity for its graph family (web, social, communication,
+// p2p, ...). Reciprocity is the share of edges whose reverse also exists; it
+// governs 2-cycle density, the quantity behind the paper's Table IV ratios.
+type Dataset struct {
+	Name        string
+	Description string
+	PaperV      int64
+	PaperE      int64
+	PaperAvgDeg float64
+	Skew        float64 // PowerLaw skew parameter (1 = uniform)
+	Reciprocity float64
+	Seed        uint64
+	// Large marks the four graphs (FLK, LJ, WKP, TW) that only TDB++
+	// completes in the paper; the harness scales them down further.
+	Large bool
+}
+
+// Generate builds the stand-in graph at the given scale factor
+// (0 < scale <= 1; 1 reproduces the paper-reported sizes).
+func (d Dataset) Generate(scale float64) *digraph.Graph {
+	if scale <= 0 || scale > 1 {
+		panic(fmt.Sprintf("gen: dataset %s scale %v out of (0,1]", d.Name, scale))
+	}
+	n := int(float64(d.PaperV) * scale)
+	if n < 16 {
+		n = 16
+	}
+	m := int(float64(d.PaperE) * scale)
+	if m < 4*n {
+		// Preserve the average out-degree even at tiny scales; the degree
+		// is what shapes cycle density. (Table II's davg counts in+out
+		// degree, i.e. 2m/n; we preserve m/n.)
+		m = int(float64(n) * float64(d.PaperE) / float64(d.PaperV))
+	}
+	if m < n {
+		m = n
+	}
+	return PowerLaw(n, m, d.Skew, d.Reciprocity, d.Seed)
+}
+
+// datasets lists the paper's Table II in its original order. Skew and
+// reciprocity are chosen per graph family:
+//   - votes/endorsements (WKV): skewed, weakly reciprocal;
+//   - internet topology (ASC): peering is mutual — high reciprocity, which
+//     matches its extreme Table IV ratio (8.64);
+//   - p2p overlays (GNU): near-random, almost no reciprocity (ratio 1.15);
+//   - email/communication (EU, WIT): skewed, moderate reciprocity;
+//   - social (SAD, FLK, LJ, TW): heavy hubs, high reciprocity;
+//   - web (WND, WST, WGO, WBS): heavy hubs, moderate reciprocity;
+//   - citation (CT): low reciprocity (citations rarely go both ways);
+//   - loans (LOAN): dense transactional, low reciprocity.
+var datasets = []Dataset{
+	{Name: "WKV", Description: "Wiki-Vote", PaperV: 7_000, PaperE: 104_000, PaperAvgDeg: 29.1, Skew: 2.4, Reciprocity: 0.08, Seed: 1},
+	{Name: "ASC", Description: "as-caida", PaperV: 26_000, PaperE: 107_000, PaperAvgDeg: 8.1, Skew: 2.8, Reciprocity: 0.55, Seed: 2},
+	{Name: "GNU", Description: "Gnutella31", PaperV: 63_000, PaperE: 148_000, PaperAvgDeg: 4.7, Skew: 1.3, Reciprocity: 0.01, Seed: 3},
+	{Name: "EU", Description: "Email-Euall", PaperV: 265_000, PaperE: 420_000, PaperAvgDeg: 3.2, Skew: 2.6, Reciprocity: 0.20, Seed: 4},
+	{Name: "SAD", Description: "Slashdot0902", PaperV: 82_000, PaperE: 948_000, PaperAvgDeg: 23.1, Skew: 2.2, Reciprocity: 0.55, Seed: 5},
+	{Name: "WND", Description: "web-NotreDame", PaperV: 325_000, PaperE: 1_500_000, PaperAvgDeg: 9.2, Skew: 3.0, Reciprocity: 0.30, Seed: 6},
+	{Name: "CT", Description: "citeseer", PaperV: 384_000, PaperE: 1_700_000, PaperAvgDeg: 9.1, Skew: 1.8, Reciprocity: 0.05, Seed: 7},
+	{Name: "WST", Description: "webStanford", PaperV: 281_000, PaperE: 2_300_000, PaperAvgDeg: 16.4, Skew: 2.8, Reciprocity: 0.28, Seed: 8},
+	{Name: "LOAN", Description: "prosper-loans", PaperV: 89_000, PaperE: 3_400_000, PaperAvgDeg: 76.1, Skew: 2.0, Reciprocity: 0.03, Seed: 9},
+	{Name: "WIT", Description: "Wiki-Talk", PaperV: 2_400_000, PaperE: 5_000_000, PaperAvgDeg: 4.2, Skew: 3.2, Reciprocity: 0.18, Seed: 10},
+	{Name: "WGO", Description: "webGoogle", PaperV: 875_000, PaperE: 5_100_000, PaperAvgDeg: 11.7, Skew: 2.6, Reciprocity: 0.22, Seed: 11},
+	{Name: "WBS", Description: "webBerkStan", PaperV: 685_000, PaperE: 7_600_000, PaperAvgDeg: 22.2, Skew: 3.0, Reciprocity: 0.28, Seed: 12},
+	{Name: "FLK", Description: "Flickr", PaperV: 2_300_000, PaperE: 33_100_000, PaperAvgDeg: 28.8, Skew: 2.6, Reciprocity: 0.45, Seed: 13, Large: true},
+	{Name: "LJ", Description: "LiveJournal", PaperV: 10_600_000, PaperE: 112_000_000, PaperAvgDeg: 21.0, Skew: 2.6, Reciprocity: 0.55, Seed: 14, Large: true},
+	{Name: "WKP", Description: "Wikipedia", PaperV: 18_200_000, PaperE: 172_000_000, PaperAvgDeg: 18.85, Skew: 2.8, Reciprocity: 0.10, Seed: 15, Large: true},
+	{Name: "TW", Description: "Twitter(WWW)", PaperV: 41_600_000, PaperE: 1_470_000_000, PaperAvgDeg: 70.5, Skew: 3.2, Reciprocity: 0.25, Seed: 16, Large: true},
+}
+
+// Datasets returns the 16 Table II stand-ins in paper order.
+func Datasets() []Dataset {
+	out := make([]Dataset, len(datasets))
+	copy(out, datasets)
+	return out
+}
+
+// StandardDatasets returns the 12 non-large datasets the paper uses for its
+// k-sweep figures (Fig. 6 and 7).
+func StandardDatasets() []Dataset {
+	var out []Dataset
+	for _, d := range datasets {
+		if !d.Large {
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// DatasetByName finds a dataset case-insensitively.
+func DatasetByName(name string) (Dataset, bool) {
+	for _, d := range datasets {
+		if strings.EqualFold(d.Name, name) {
+			return d, true
+		}
+	}
+	return Dataset{}, false
+}

@@ -1,0 +1,109 @@
+package graphstat
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"tdb/internal/digraph"
+	"tdb/internal/gen"
+)
+
+func TestProfileTriangle(t *testing.T) {
+	g := digraph.FromEdges(3, []digraph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
+	p := Compute(g, Options{K: 5})
+	if p.N != 3 || p.M != 3 {
+		t.Fatalf("sizes wrong: %+v", p)
+	}
+	if p.Reciprocity != 0 {
+		t.Fatalf("reciprocity = %v, want 0", p.Reciprocity)
+	}
+	if p.SCCs != 1 || p.LargestSCC != 3 || p.CyclicVertices != 3 {
+		t.Fatalf("SCC stats wrong: %+v", p)
+	}
+	if p.CyclesByLength[3] != 1 || len(p.CyclesByLength) != 1 {
+		t.Fatalf("cycle spectrum wrong: %v", p.CyclesByLength)
+	}
+}
+
+func TestProfileReciprocity(t *testing.T) {
+	g := digraph.FromEdges(2, []digraph.Edge{{U: 0, V: 1}, {U: 1, V: 0}})
+	p := Compute(g, Options{})
+	if p.Reciprocity != 1.0 {
+		t.Fatalf("reciprocity = %v, want 1", p.Reciprocity)
+	}
+	if p.CyclesByLength != nil {
+		t.Fatal("cycle counting must be off when K = 0")
+	}
+}
+
+func TestProfileSpectrum(t *testing.T) {
+	// 2-cycle, triangle, 4-ring sharing no vertices.
+	b := digraph.NewBuilder(9)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 0)
+	b.AddEdge(2, 3)
+	b.AddEdge(3, 4)
+	b.AddEdge(4, 2)
+	b.AddEdge(5, 6)
+	b.AddEdge(6, 7)
+	b.AddEdge(7, 8)
+	b.AddEdge(8, 5)
+	p := Compute(b.Build(), Options{K: 4})
+	want := map[int]int64{2: 1, 3: 1, 4: 1}
+	for l, n := range want {
+		if p.CyclesByLength[l] != n {
+			t.Fatalf("spectrum[%d] = %d, want %d", l, p.CyclesByLength[l], n)
+		}
+	}
+}
+
+func TestProfileTruncation(t *testing.T) {
+	g := gen.ErdosRenyi(60, 900, 5)
+	p := Compute(g, Options{K: 5, MaxCycles: 10})
+	if !p.CyclesTruncated {
+		t.Fatal("expected truncation on a dense graph with MaxCycles=10")
+	}
+	var total int64
+	for _, n := range p.CyclesByLength {
+		total += n
+	}
+	if total != 10 {
+		t.Fatalf("counted %d cycles, want exactly 10", total)
+	}
+}
+
+func TestProfilePercentiles(t *testing.T) {
+	// Star: hub has degree 10, leaves degree 1.
+	b := digraph.NewBuilder(11)
+	for i := 1; i <= 10; i++ {
+		b.AddEdge(0, digraph.VID(i))
+	}
+	p := Compute(b.Build(), Options{})
+	if p.DegreeP50 != 1 || p.DegreeP99 != 10 {
+		t.Fatalf("percentiles: p50=%d p99=%d", p.DegreeP50, p.DegreeP99)
+	}
+	if p.MaxOutDegree != 10 || p.MaxInDegree != 1 {
+		t.Fatalf("max degrees: %d/%d", p.MaxOutDegree, p.MaxInDegree)
+	}
+}
+
+func TestFprint(t *testing.T) {
+	g := gen.PowerLaw(200, 1000, 2.0, 0.3, 1)
+	p := Compute(g, Options{K: 4})
+	var buf bytes.Buffer
+	p.Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"vertices", "reciprocity", "SCCs", "cycles of length"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestEmptyGraph(t *testing.T) {
+	p := Compute(digraph.NewBuilder(0).Build(), Options{K: 4})
+	if p.N != 0 || p.M != 0 || p.Reciprocity != 0 {
+		t.Fatalf("empty profile wrong: %+v", p)
+	}
+}

@@ -1,0 +1,142 @@
+// Package scc computes strongly connected components of a directed graph
+// with an iterative Tarjan algorithm.
+//
+// SCCs are used as an optional prefilter for the cycle-cover algorithms:
+// every directed cycle lies entirely inside one SCC, so a vertex whose SCC is
+// trivial (a single vertex without a self-loop) can never appear on any
+// cycle, hop-constrained or not, and is excluded from cover candidacy up
+// front. The paper does not use this filter; it is ablated in the experiment
+// harness (experiment "scc" in DESIGN.md).
+package scc
+
+import (
+	"tdb/internal/digraph"
+)
+
+// Result describes an SCC decomposition.
+type Result struct {
+	// Comp[v] is the component ID of vertex v. IDs are dense in
+	// [0, NumComponents) and assigned in reverse topological order of the
+	// condensation (Tarjan's emission order).
+	Comp []int32
+	// Size[c] is the number of vertices in component c.
+	Size []int32
+}
+
+// NumComponents returns the number of strongly connected components.
+func (r *Result) NumComponents() int {
+	return len(r.Size)
+}
+
+// InNontrivial reports whether v belongs to an SCC with at least two
+// vertices, i.e. whether v can lie on a simple directed cycle of length >= 2.
+func (r *Result) InNontrivial(v digraph.VID) bool {
+	return r.Size[r.Comp[v]] >= 2
+}
+
+// CycleCandidates returns a mask with true for every vertex that lies in a
+// non-trivial SCC. Only these vertices can participate in cycles.
+func (r *Result) CycleCandidates() []bool {
+	mask := make([]bool, len(r.Comp))
+	for v := range r.Comp {
+		mask[v] = r.Size[r.Comp[v]] >= 2
+	}
+	return mask
+}
+
+// Compute runs Tarjan's algorithm over the whole graph.
+func Compute(g *digraph.Graph) *Result {
+	return ComputeMasked(g, nil)
+}
+
+// ComputeMasked runs Tarjan's algorithm over the subgraph induced by the
+// active vertices. A nil mask means all vertices are active. Inactive
+// vertices receive component -1.
+func ComputeMasked(g *digraph.Graph, active []bool) *Result {
+	n := g.NumVertices()
+	const unvisited = -1
+	index := make([]int32, n)
+	low := make([]int32, n)
+	comp := make([]int32, n)
+	onStack := make([]bool, n)
+	for v := range index {
+		index[v] = unvisited
+		comp[v] = -1
+	}
+
+	var (
+		next     int32
+		stack    []digraph.VID // Tarjan's SCC stack
+		sizes    []int32
+		callV    []digraph.VID // explicit DFS call stack: vertex
+		callEdge []int32       // and the next out-edge offset to resume at
+	)
+
+	for root := 0; root < n; root++ {
+		if index[root] != unvisited || (active != nil && !active[root]) {
+			continue
+		}
+		callV = append(callV[:0], digraph.VID(root))
+		callEdge = append(callEdge[:0], 0)
+		index[root] = next
+		low[root] = next
+		next++
+		stack = append(stack, digraph.VID(root))
+		onStack[root] = true
+
+		for len(callV) > 0 {
+			v := callV[len(callV)-1]
+			out := g.Out(v)
+			advanced := false
+			for ei := callEdge[len(callEdge)-1]; int(ei) < len(out); ei++ {
+				w := out[ei]
+				if active != nil && !active[w] {
+					continue
+				}
+				if index[w] == unvisited {
+					callEdge[len(callEdge)-1] = ei + 1
+					index[w] = next
+					low[w] = next
+					next++
+					stack = append(stack, w)
+					onStack[w] = true
+					callV = append(callV, w)
+					callEdge = append(callEdge, 0)
+					advanced = true
+					break
+				}
+				if onStack[w] && index[w] < low[v] {
+					low[v] = index[w]
+				}
+			}
+			if advanced {
+				continue
+			}
+			// v is finished: pop the call stack, maybe emit a component.
+			callV = callV[:len(callV)-1]
+			callEdge = callEdge[:len(callEdge)-1]
+			if low[v] == index[v] {
+				id := int32(len(sizes))
+				var size int32
+				for {
+					w := stack[len(stack)-1]
+					stack = stack[:len(stack)-1]
+					onStack[w] = false
+					comp[w] = id
+					size++
+					if w == v {
+						break
+					}
+				}
+				sizes = append(sizes, size)
+			}
+			if len(callV) > 0 {
+				parent := callV[len(callV)-1]
+				if low[v] < low[parent] {
+					low[parent] = low[v]
+				}
+			}
+		}
+	}
+	return &Result{Comp: comp, Size: sizes}
+}

@@ -1,0 +1,174 @@
+package scc
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"tdb/internal/digraph"
+)
+
+func edges(pairs ...[2]digraph.VID) []digraph.Edge {
+	es := make([]digraph.Edge, len(pairs))
+	for i, p := range pairs {
+		es[i] = digraph.Edge{U: p[0], V: p[1]}
+	}
+	return es
+}
+
+func TestSingleCycle(t *testing.T) {
+	g := digraph.FromEdges(3, edges([2]digraph.VID{0, 1}, [2]digraph.VID{1, 2}, [2]digraph.VID{2, 0}))
+	r := Compute(g)
+	if r.NumComponents() != 1 {
+		t.Fatalf("components = %d, want 1", r.NumComponents())
+	}
+	for v := digraph.VID(0); v < 3; v++ {
+		if !r.InNontrivial(v) {
+			t.Fatalf("vertex %d should be in non-trivial SCC", v)
+		}
+	}
+}
+
+func TestDAG(t *testing.T) {
+	g := digraph.FromEdges(4, edges([2]digraph.VID{0, 1}, [2]digraph.VID{1, 2}, [2]digraph.VID{2, 3}, [2]digraph.VID{0, 3}))
+	r := Compute(g)
+	if r.NumComponents() != 4 {
+		t.Fatalf("components = %d, want 4", r.NumComponents())
+	}
+	for v := digraph.VID(0); v < 4; v++ {
+		if r.InNontrivial(v) {
+			t.Fatalf("vertex %d in a DAG should be trivial", v)
+		}
+	}
+}
+
+func TestTwoComponentsPlusBridge(t *testing.T) {
+	// cycle {0,1,2}, cycle {3,4}, bridge 2->3, isolated 5
+	g := digraph.FromEdges(6, edges(
+		[2]digraph.VID{0, 1}, [2]digraph.VID{1, 2}, [2]digraph.VID{2, 0},
+		[2]digraph.VID{3, 4}, [2]digraph.VID{4, 3},
+		[2]digraph.VID{2, 3},
+	))
+	r := Compute(g)
+	if r.NumComponents() != 3 {
+		t.Fatalf("components = %d, want 3", r.NumComponents())
+	}
+	if r.Comp[0] != r.Comp[1] || r.Comp[1] != r.Comp[2] {
+		t.Fatal("cycle {0,1,2} split")
+	}
+	if r.Comp[3] != r.Comp[4] {
+		t.Fatal("cycle {3,4} split")
+	}
+	if r.Comp[0] == r.Comp[3] {
+		t.Fatal("distinct cycles merged")
+	}
+	mask := r.CycleCandidates()
+	want := []bool{true, true, true, true, true, false}
+	for v, w := range want {
+		if mask[v] != w {
+			t.Fatalf("CycleCandidates[%d] = %v, want %v", v, mask[v], w)
+		}
+	}
+}
+
+func TestReverseTopologicalOrder(t *testing.T) {
+	// 0 -> 1 -> 2 (three trivial SCCs). Tarjan emits sinks first, so
+	// comp IDs should be a reverse topological order: comp[2] < comp[1] < comp[0].
+	g := digraph.FromEdges(3, edges([2]digraph.VID{0, 1}, [2]digraph.VID{1, 2}))
+	r := Compute(g)
+	if !(r.Comp[2] < r.Comp[1] && r.Comp[1] < r.Comp[0]) {
+		t.Fatalf("comp IDs not reverse topological: %v", r.Comp)
+	}
+}
+
+func TestMasked(t *testing.T) {
+	// cycle 0->1->2->0; deactivating 1 destroys it.
+	g := digraph.FromEdges(3, edges([2]digraph.VID{0, 1}, [2]digraph.VID{1, 2}, [2]digraph.VID{2, 0}))
+	r := ComputeMasked(g, []bool{true, false, true})
+	if r.Comp[1] != -1 {
+		t.Fatalf("inactive vertex got component %d", r.Comp[1])
+	}
+	if r.InNontrivial(0) || r.InNontrivial(2) {
+		t.Fatal("masked cycle should be broken")
+	}
+}
+
+// naiveSCC computes components by pairwise reachability.
+func naiveSCC(g *digraph.Graph) [][]bool {
+	n := g.NumVertices()
+	reach := make([][]bool, n)
+	for s := 0; s < n; s++ {
+		reach[s] = make([]bool, n)
+		reach[s][s] = true
+		queue := []digraph.VID{digraph.VID(s)}
+		for len(queue) > 0 {
+			v := queue[0]
+			queue = queue[1:]
+			for _, w := range g.Out(v) {
+				if !reach[s][w] {
+					reach[s][w] = true
+					queue = append(queue, w)
+				}
+			}
+		}
+	}
+	same := make([][]bool, n)
+	for u := 0; u < n; u++ {
+		same[u] = make([]bool, n)
+		for v := 0; v < n; v++ {
+			same[u][v] = reach[u][v] && reach[v][u]
+		}
+	}
+	return same
+}
+
+func TestAgainstNaiveRandom(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	for iter := 0; iter < 60; iter++ {
+		n := 2 + rng.IntN(25)
+		b := digraph.NewBuilder(n)
+		m := rng.IntN(3 * n)
+		for i := 0; i < m; i++ {
+			b.AddEdge(digraph.VID(rng.IntN(n)), digraph.VID(rng.IntN(n)))
+		}
+		g := b.Build()
+		r := Compute(g)
+		same := naiveSCC(g)
+		for u := 0; u < n; u++ {
+			for v := 0; v < n; v++ {
+				got := r.Comp[u] == r.Comp[v]
+				if got != same[u][v] {
+					t.Fatalf("iter %d: vertices %d,%d same-component mismatch (tarjan=%v naive=%v)",
+						iter, u, v, got, same[u][v])
+				}
+			}
+		}
+		// Size bookkeeping.
+		counts := make([]int32, r.NumComponents())
+		for _, c := range r.Comp {
+			counts[c]++
+		}
+		for c, want := range counts {
+			if r.Size[c] != want {
+				t.Fatalf("iter %d: Size[%d] = %d, want %d", iter, c, r.Size[c], want)
+			}
+		}
+	}
+}
+
+func TestDeepChainNoStackOverflow(t *testing.T) {
+	// A 200k-vertex path plus a closing edge exercises the iterative DFS.
+	n := 200_000
+	b := digraph.NewBuilder(n)
+	for v := 0; v+1 < n; v++ {
+		b.AddEdge(digraph.VID(v), digraph.VID(v+1))
+	}
+	b.AddEdge(digraph.VID(n-1), 0)
+	g := b.Build()
+	r := Compute(g)
+	if r.NumComponents() != 1 {
+		t.Fatalf("components = %d, want 1", r.NumComponents())
+	}
+	if int(r.Size[0]) != n {
+		t.Fatalf("size = %d, want %d", r.Size[0], n)
+	}
+}

@@ -1,0 +1,223 @@
+package verify
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"tdb/internal/cycle"
+	"tdb/internal/digraph"
+)
+
+func g(n int, pairs ...VID) *digraph.Graph {
+	b := digraph.NewBuilder(n)
+	for i := 0; i+1 < len(pairs); i += 2 {
+		b.AddEdge(pairs[i], pairs[i+1])
+	}
+	return b.Build()
+}
+
+func TestIsValidBasic(t *testing.T) {
+	tri := g(3, 0, 1, 1, 2, 2, 0)
+	if ok, _ := IsValid(tri, 5, 3, nil); ok {
+		t.Fatal("empty cover of a triangle should be invalid")
+	}
+	ok, witness := IsValid(tri, 5, 3, []VID{0})
+	if !ok {
+		t.Fatalf("cover {0} should be valid, witness %v", witness)
+	}
+	// A witness is returned for the invalid case.
+	if ok, witness := IsValid(tri, 5, 3, []VID{}); ok || len(witness) != 3 {
+		t.Fatalf("want a 3-cycle witness, got ok=%v witness=%v", ok, witness)
+	}
+}
+
+func TestIsValidRespectsKAndMinLen(t *testing.T) {
+	ring6 := g(6, 0, 1, 1, 2, 2, 3, 3, 4, 4, 5, 5, 0)
+	if ok, _ := IsValid(ring6, 5, 3, nil); !ok {
+		t.Fatal("6-ring has no cycle of length <= 5; empty cover is valid")
+	}
+	if ok, _ := IsValid(ring6, 6, 3, nil); ok {
+		t.Fatal("k=6 must see the 6-ring")
+	}
+	two := g(2, 0, 1, 1, 0)
+	if ok, _ := IsValid(two, 5, 3, nil); !ok {
+		t.Fatal("2-cycle invisible at minLen=3")
+	}
+	if ok, _ := IsValid(two, 5, 2, nil); ok {
+		t.Fatal("2-cycle must be seen at minLen=2")
+	}
+}
+
+func TestIsMinimal(t *testing.T) {
+	tri := g(3, 0, 1, 1, 2, 2, 0)
+	if ok, _ := IsMinimal(tri, 5, 3, []VID{0}); !ok {
+		t.Fatal("{0} is minimal for a triangle")
+	}
+	ok, redundant := IsMinimal(tri, 5, 3, []VID{0, 1})
+	if ok {
+		t.Fatal("{0,1} is not minimal")
+	}
+	if len(redundant) != 2 {
+		// Restoring either vertex alone exposes no cycle (the other is
+		// still removed), so both are flagged.
+		t.Fatalf("redundant = %v, want both vertices", redundant)
+	}
+}
+
+func TestCheck(t *testing.T) {
+	tri := g(3, 0, 1, 1, 2, 2, 0)
+	rep := Check(tri, 5, 3, []VID{0}, true)
+	if !rep.Valid || !rep.Minimal {
+		t.Fatalf("report %+v, want valid+minimal", rep)
+	}
+	rep = Check(tri, 5, 3, nil, true)
+	if rep.Valid || rep.Witness == nil {
+		t.Fatalf("report %+v, want invalid with witness", rep)
+	}
+	rep = Check(tri, 5, 3, []VID{0, 1}, false)
+	if !rep.Valid || !rep.Minimal {
+		t.Fatal("minimality must be vacuously true when not requested")
+	}
+}
+
+func TestIsValidParallelAgreesWithSequential(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 5))
+	for iter := 0; iter < 30; iter++ {
+		n := 4 + rng.IntN(40)
+		b := digraph.NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			b.AddEdge(VID(rng.IntN(n)), VID(rng.IntN(n)))
+		}
+		gr := b.Build()
+		var cover []VID
+		for v := 0; v < n; v++ {
+			if rng.IntN(3) == 0 {
+				cover = append(cover, VID(v))
+			}
+		}
+		seq, _ := IsValid(gr, 4, 3, cover)
+		par, _ := IsValidParallel(gr, 4, 3, cover, 4)
+		if seq != par {
+			t.Fatalf("iter %d: sequential=%v parallel=%v", iter, seq, par)
+		}
+		// Default worker count path.
+		par2, _ := IsValidParallel(gr, 4, 3, cover, 0)
+		if seq != par2 {
+			t.Fatalf("iter %d: parallel default workers disagrees", iter)
+		}
+	}
+}
+
+func TestBruteForceOptimal(t *testing.T) {
+	// Two vertex-disjoint triangles: optimum 2.
+	gr := g(6, 0, 1, 1, 2, 2, 0, 3, 4, 4, 5, 5, 3)
+	opt := BruteForceOptimal(gr, 5, 3)
+	if len(opt) != 2 {
+		t.Fatalf("optimum %v, want size 2", opt)
+	}
+	if ok, _ := IsValid(gr, 5, 3, opt); !ok {
+		t.Fatal("brute-force result is not even valid")
+	}
+	// Two triangles sharing vertex 0: optimum 1.
+	shared := g(5, 0, 1, 1, 2, 2, 0, 0, 3, 3, 4, 4, 0)
+	opt = BruteForceOptimal(shared, 5, 3)
+	if len(opt) != 1 || opt[0] != 0 {
+		t.Fatalf("optimum %v, want [0]", opt)
+	}
+	// Acyclic: empty optimum.
+	if opt := BruteForceOptimal(g(3, 0, 1, 1, 2), 5, 3); opt != nil {
+		t.Fatalf("optimum %v on a DAG, want nil", opt)
+	}
+}
+
+// Property: brute force is never larger than any valid cover found by
+// removing one vertex at a time greedily.
+func TestBruteForceIsOptimalProperty(t *testing.T) {
+	rng := rand.New(rand.NewPCG(13, 17))
+	for iter := 0; iter < 25; iter++ {
+		n := 4 + rng.IntN(5)
+		b := digraph.NewBuilder(n)
+		for i := 0; i < 2*n; i++ {
+			b.AddEdge(VID(rng.IntN(n)), VID(rng.IntN(n)))
+		}
+		gr := b.Build()
+		opt := BruteForceOptimal(gr, 4, 3)
+		if ok, _ := IsValid(gr, 4, 3, opt); !ok {
+			t.Fatalf("iter %d: optimum invalid", iter)
+		}
+		// Every subset smaller than opt must be invalid — spot-check the
+		// empty set and all singletons when |opt| >= 2.
+		if len(opt) >= 1 {
+			if ok, _ := IsValid(gr, 4, 3, nil); ok {
+				t.Fatalf("iter %d: empty cover valid but optimum nonempty", iter)
+			}
+		}
+		if len(opt) >= 2 {
+			for v := 0; v < n; v++ {
+				if ok, _ := IsValid(gr, 4, 3, []VID{VID(v)}); ok {
+					t.Fatalf("iter %d: singleton {%d} valid but optimum %v", iter, v, opt)
+				}
+			}
+		}
+	}
+}
+
+func TestIsValidOutOfRangeCoverPanics(t *testing.T) {
+	gr := g(3, 0, 1, 1, 2, 2, 0)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic for out-of-range cover vertex")
+		}
+	}()
+	IsValid(gr, 5, 3, []VID{7})
+}
+
+func TestWitnessIsARealCycle(t *testing.T) {
+	rng := rand.New(rand.NewPCG(23, 29))
+	for iter := 0; iter < 20; iter++ {
+		n := 4 + rng.IntN(10)
+		b := digraph.NewBuilder(n)
+		for i := 0; i < 3*n; i++ {
+			b.AddEdge(VID(rng.IntN(n)), VID(rng.IntN(n)))
+		}
+		gr := b.Build()
+		ok, witness := IsValid(gr, 5, 3, nil)
+		if ok {
+			continue
+		}
+		if len(witness) < 3 || len(witness) > 5 {
+			t.Fatalf("iter %d: witness %v has bad length", iter, witness)
+		}
+		for i, v := range witness {
+			if !gr.HasEdge(v, witness[(i+1)%len(witness)]) {
+				t.Fatalf("iter %d: witness %v is not a cycle", iter, witness)
+			}
+		}
+	}
+}
+
+func TestLargeInstanceParallel(t *testing.T) {
+	// A ring of triangles: cover must pick one vertex per triangle.
+	n := 3000
+	b := digraph.NewBuilder(3 * n)
+	var cover []VID
+	for i := 0; i < n; i++ {
+		a, c, d := VID(3*i), VID(3*i+1), VID(3*i+2)
+		b.AddEdge(a, c)
+		b.AddEdge(c, d)
+		b.AddEdge(d, a)
+		b.AddEdge(a, VID((3*(i+1))%(3*n)))
+		cover = append(cover, a)
+	}
+	gr := b.Build()
+	if ok, _ := IsValidParallel(gr, 5, 3, cover, 0); !ok {
+		t.Fatal("per-triangle cover should be valid")
+	}
+	if ok, _ := IsValidParallel(gr, 5, 3, cover[:n-1], 0); ok {
+		t.Fatal("dropping one triangle's vertex must be caught")
+	}
+	if ok, _ := IsMinimal(gr, 5, 3, cover); !ok {
+		t.Fatal("per-triangle cover is minimal")
+	}
+	_ = cycle.DefaultMinLen
+}

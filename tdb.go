@@ -1,0 +1,185 @@
+// Package tdb breaks all hop-constrained cycles in large directed graphs.
+//
+// It implements the algorithms of "TDB: Breaking All Hop-Constrained Cycles
+// in Billion-Scale Directed Graphs" (ICDE 2023): given a directed graph G
+// and a hop constraint k, compute a small vertex set that intersects every
+// simple directed cycle of length between 3 and k (a hop-constrained cycle
+// cover). Finding a minimum cover is NP-hard and UGC-hard to approximate
+// within k-1-eps, so the algorithms return minimal (locally irreducible)
+// covers:
+//
+//   - TDBPlusPlus (default): the paper's top-down algorithm with the
+//     block/barrier detector and BFS-filter — fastest, scales furthest.
+//   - TDBPlus, TDB: the same top-down process with fewer optimizations.
+//   - BURPlus, BUR: the bottom-up hit-count heuristic; slower, usually the
+//     smallest covers.
+//   - DARCDV: the DARC k-cycle-transversal baseline (edge selection
+//     projected to vertices).
+//
+// # Quick start
+//
+//	b := tdb.NewBuilder(0)
+//	b.AddEdge(0, 1)
+//	b.AddEdge(1, 2)
+//	b.AddEdge(2, 0)
+//	g := b.Build()
+//	res, err := tdb.Cover(g, 5, nil) // break all cycles of length 3..5
+//	// res.Cover == [some vertex of the triangle]
+//
+// Use Verify to check any cover, and the cmd/ tools for file-based and
+// experiment workflows. Typical applications: picking accounts that break
+// all short money-transfer rings (fraud), locks that break all short
+// lock-order cycles (deadlock avoidance), and register placement breaking
+// short combinational feedback loops (circuit design); see examples/.
+package tdb
+
+import (
+	"tdb/internal/core"
+	"tdb/internal/cycle"
+	"tdb/internal/digraph"
+	"tdb/internal/verify"
+)
+
+// VID identifies a vertex: dense integers in [0, NumVertices).
+type VID = digraph.VID
+
+// Edge is a directed edge.
+type Edge = digraph.Edge
+
+// Graph is an immutable directed graph in compressed-sparse-row form.
+type Graph = digraph.Graph
+
+// Builder accumulates edges for a Graph. Self-loops are dropped and
+// duplicate edges merged by default.
+type Builder = digraph.Builder
+
+// NewBuilder returns a Builder for a graph with at least n vertices.
+func NewBuilder(n int) *Builder { return digraph.NewBuilder(n) }
+
+// FromEdges builds a graph from an edge list under default policies.
+func FromEdges(n int, edges []Edge) *Graph { return digraph.FromEdges(n, edges) }
+
+// LoadGraph reads a graph from a file: SNAP-style text edge lists, or the
+// binary format for paths ending in ".bin".
+func LoadGraph(path string) (*Graph, error) { return digraph.LoadFile(path) }
+
+// SaveGraph writes a graph to a file, choosing the format by extension as
+// in LoadGraph.
+func SaveGraph(path string, g *Graph) error { return digraph.SaveFile(path, g) }
+
+// Algorithm selects a cover algorithm; see the package documentation.
+type Algorithm = core.Algorithm
+
+// Cover algorithms, in the paper's naming.
+const (
+	BUR         = core.BUR
+	BURPlus     = core.BURPlus
+	TDB         = core.TDB
+	TDBPlus     = core.TDBPlus
+	TDBPlusPlus = core.TDBPlusPlus
+	DARCDV      = core.DARCDV
+)
+
+// Order selects the candidate processing order.
+type Order = core.Order
+
+// Candidate processing orders.
+const (
+	OrderNatural    = core.OrderNatural
+	OrderDegreeAsc  = core.OrderDegreeAsc
+	OrderDegreeDesc = core.OrderDegreeDesc
+	OrderRandom     = core.OrderRandom
+	// OrderWeighted processes expensive vertices first so they are
+	// preferentially excluded from the cover; requires Options.Weights.
+	OrderWeighted = core.OrderWeighted
+)
+
+// Options tunes a cover computation; the zero value means: exclude 2-cycles
+// (MinLen 3), natural order, no prefilter, run to completion.
+type Options struct {
+	// MinLen: 3 (default) excludes 2-cycles; 2 includes them.
+	MinLen int
+	// Order of candidate processing.
+	Order Order
+	// Seed for OrderRandom.
+	Seed uint64
+	// Weights (length n) makes covers cost-aware: with OrderWeighted the
+	// algorithms steer expensive vertices out of the cover, and the
+	// minimal passes shed the most expensive cover vertices first.
+	Weights []float64
+	// SCCPrefilter exempts vertices outside non-trivial SCCs up front.
+	SCCPrefilter bool
+	// Cancelled, polled between steps, stops the run early when true.
+	Cancelled func() bool
+}
+
+// Result is a computed cover plus run statistics.
+type Result = core.Result
+
+// Stats describes the work performed during a cover computation.
+type Stats = core.Stats
+
+// Cover computes a hop-constrained cycle cover of g for cycles of length in
+// [3, k] (or [MinLen, k] if opts overrides MinLen) using TDB++, the paper's
+// fastest algorithm. A nil opts selects the defaults.
+func Cover(g *Graph, k int, opts *Options) (*Result, error) {
+	return CoverWith(g, TDBPlusPlus, k, opts)
+}
+
+// CoverWith is Cover with an explicit algorithm choice.
+func CoverWith(g *Graph, algo Algorithm, k int, opts *Options) (*Result, error) {
+	o := core.Options{K: k}
+	if opts != nil {
+		o.MinLen = opts.MinLen
+		o.Order = opts.Order
+		o.Seed = opts.Seed
+		o.Weights = opts.Weights
+		o.SCCPrefilter = opts.SCCPrefilter
+		o.Cancelled = opts.Cancelled
+	}
+	return core.Compute(g, algo, o)
+}
+
+// CoverAllCycles computes a minimal cover of cycles of EVERY length (the
+// unconstrained feedback-vertex-style variant, paper Sec. VI-C).
+func CoverAllCycles(g *Graph, opts *Options) (*Result, error) {
+	return Cover(g, cycle.Unconstrained(g), opts)
+}
+
+// Report is the outcome of Verify.
+type Report = verify.Report
+
+// Verify checks that cover intersects every cycle of length in [minLen, k]
+// and, when wantMinimal is set, that no cover vertex is redundant.
+func Verify(g *Graph, k, minLen int, cover []VID, wantMinimal bool) Report {
+	return verify.Check(g, k, minLen, cover, wantMinimal)
+}
+
+// FindCycle returns one cycle of length in [3, k] through vertex s, or nil.
+// It uses the paper's block-based detector.
+func FindCycle(g *Graph, k int, s VID) []VID {
+	return cycle.NewBlockDetector(g, k, cycle.DefaultMinLen, nil).FindFrom(s)
+}
+
+// HasHopConstrainedCycle reports whether g contains any cycle of length in
+// [3, k].
+func HasHopConstrainedCycle(g *Graph, k int) bool {
+	det := cycle.NewBlockDetector(g, k, cycle.DefaultMinLen, nil)
+	filter := cycle.NewBFSFilter(g, k, nil)
+	for v := 0; v < g.NumVertices(); v++ {
+		if filter.CanPrune(VID(v)) {
+			continue
+		}
+		if det.HasCycleThrough(VID(v)) {
+			return true
+		}
+	}
+	return false
+}
+
+// EnumerateCycles lists every cycle of length in [3, k], each once, calling
+// fn until it returns false. Intended for small graphs or tight k: the
+// number of cycles can be exponential.
+func EnumerateCycles(g *Graph, k int, fn func(c []VID) bool) {
+	cycle.NewEnumerator(g, k, cycle.DefaultMinLen, nil).Visit(fn)
+}
