@@ -3,7 +3,7 @@
 // Usage:
 //
 //	tdb -graph g.txt -k 5 [-algo TDB++] [-minlen 3] [-order natural]
-//	    [-scc] [-timeout 60s] [-out cover.txt] [-verify]
+//	    [-scc] [-prepass N] [-timeout 60s] [-out cover.txt] [-verify]
 //
 // The graph file is a SNAP-style text edge list ("u v" per line, '#'
 // comments) or the binary format for ".bin" paths. The cover is written one
@@ -12,6 +12,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -40,6 +41,7 @@ func run(args []string, out io.Writer) error {
 		orderName = fs.String("order", "natural", "candidate order: natural, degree-asc, degree-desc, random")
 		seed      = fs.Uint64("seed", 0, "seed for -order random")
 		sccPre    = fs.Bool("scc", false, "enable the SCC prefilter")
+		prepass   = fs.Int("prepass", 0, "parallel BFS-filter prepass workers for TDB++ (0 = off, -1 = all cores)")
 		timeout   = fs.Duration("timeout", 0, "abort after this duration (0 = unlimited)")
 		outPath   = fs.String("out", "", "write the cover here (default stdout)")
 		doVerify  = fs.Bool("verify", false, "verify validity and minimality of the result")
@@ -66,11 +68,14 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(os.Stderr, "loaded %v\n", g)
 
-	opts := core.Options{K: *k, MinLen: *minLen, Order: order, Seed: *seed, SCCPrefilter: *sccPre}
+	opts := core.Options{K: *k, MinLen: *minLen, Order: order, Seed: *seed, SCCPrefilter: *sccPre, PrepassWorkers: *prepass}
+	ctx := context.Background()
 	if *timeout > 0 {
-		deadline := time.Now().Add(*timeout)
-		opts.Cancelled = func() bool { return time.Now().After(deadline) }
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
 	}
+	opts.Context = ctx
 	res, err := core.Compute(g, algo, opts)
 	if err != nil {
 		return err

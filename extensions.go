@@ -19,14 +19,7 @@ type EdgeCoverResult = core.EdgeCoverResult
 // ("TDB-E"). Removing the returned edges from the graph destroys every
 // constrained cycle.
 func CoverEdges(g *Graph, k int, opts *Options) (*EdgeCoverResult, error) {
-	o := core.Options{K: k}
-	if opts != nil {
-		o.MinLen = opts.MinLen
-		o.Order = opts.Order
-		o.Seed = opts.Seed
-		o.Cancelled = opts.Cancelled
-	}
-	return core.TopDownEdges(g, o)
+	return core.TopDownEdges(g, opts.toCore(k))
 }
 
 // CoverParallel computes the same cover as CoverWith by decomposing the
@@ -34,14 +27,7 @@ func CoverEdges(g *Graph, k int, opts *Options) (*EdgeCoverResult, error) {
 // It shines when the cyclic part splits into many components; a single
 // giant SCC gains nothing. workers <= 0 selects GOMAXPROCS.
 func CoverParallel(g *Graph, algo Algorithm, k int, opts *Options, workers int) (*Result, error) {
-	o := core.Options{K: k}
-	if opts != nil {
-		o.MinLen = opts.MinLen
-		o.Order = opts.Order
-		o.Seed = opts.Seed
-		o.Cancelled = opts.Cancelled
-	}
-	return core.ComputeParallel(g, algo, o, workers)
+	return core.ComputeParallel(g, algo, opts.toCore(k), workers)
 }
 
 // Maintainer keeps a hop-constrained cycle cover valid across a stream of

@@ -16,8 +16,9 @@ import (
 // into the cover (FindCoverNode, Alg. 6), and delete its edges. H
 // accumulates across the whole run, implementing the paper's "vertices hit
 // often before are likely to cover more cycles" heuristic.
-func bottomUp(g *digraph.Graph, opts Options, minimal bool) *Result {
+func bottomUp(g *digraph.Graph, opts Options, minimal bool, rs *runScratch) *Result {
 	start := time.Now()
+	stop := opts.stop()
 	algo := BUR
 	if minimal {
 		algo = BURPlus
@@ -26,14 +27,15 @@ func bottomUp(g *digraph.Graph, opts Options, minimal bool) *Result {
 	n := g.NumVertices()
 	candidates := cycleCandidates(g, opts, &r.Stats)
 
-	active := digraph.NewVertexMask(n, true)
-	det := cycle.NewPlainDetector(g, opts.K, opts.MinLen, active.Raw())
-	det.Cancelled = opts.Cancelled // aborts even mid-search (worst case O(n^k))
-	h := make([]int64, n)
+	active := rs.active
+	active.Fill(true)
+	det := cycle.NewPlainDetectorWith(g, opts.K, opts.MinLen, active.Raw(), rs.cyc)
+	det.Cancelled = stop // aborts even mid-search (worst case O(n^k))
+	h := rs.hitCounters(n)
 
 	var coverOrder []VID // insertion order, needed by the minimal pass
-	for _, s := range vertexOrder(g, opts) {
-		if opts.Cancelled != nil && opts.Cancelled() {
+	for _, s := range vertexOrderBuf(g, opts, rs.ids) {
+		if stop != nil && stop() {
 			r.Stats.TimedOut = true
 			break
 		}
@@ -49,7 +51,7 @@ func bottomUp(g *digraph.Graph, opts Options, minimal bool) *Result {
 			u := findCoverNode(h, c)
 			coverOrder = append(coverOrder, u)
 			active.Deactivate(u) // removes all in- and out-edges of u
-			if opts.Cancelled != nil && opts.Cancelled() {
+			if stop != nil && stop() {
 				r.Stats.TimedOut = true
 				break
 			}
@@ -64,7 +66,7 @@ func bottomUp(g *digraph.Graph, opts Options, minimal bool) *Result {
 
 	if minimal && !r.Stats.TimedOut {
 		// With weights, try shedding the most expensive vertices first.
-		coverOrder = minimalPass(det, active, pruneOrder(coverOrder, opts), &r.Stats, opts)
+		coverOrder = minimalPass(det, active, pruneOrder(coverOrder, opts), &r.Stats, stop)
 	}
 	r.Cover = coverOrder
 	r.Stats.Detector = det.Stats
@@ -89,10 +91,10 @@ func findCoverNode(h []int64, c []VID) VID {
 // through v there, v is redundant and is removed from the cover for good
 // (staying restored). Otherwise v is deactivated again. The surviving set is
 // a minimal cover (paper Theorem 4).
-func minimalPass(det *cycle.PlainDetector, active *digraph.VertexMask, cover []VID, st *Stats, opts Options) []VID {
+func minimalPass(det *cycle.PlainDetector, active *digraph.VertexMask, cover []VID, st *Stats, stop func() bool) []VID {
 	kept := cover[:0]
 	for _, v := range cover {
-		if opts.Cancelled != nil && opts.Cancelled() {
+		if stop != nil && stop() {
 			st.TimedOut = true
 			// Keep v and the rest: a partial prune is still a valid cover.
 			kept = append(kept, v)

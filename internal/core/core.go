@@ -9,8 +9,9 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"sort"
+	"slices"
 	"time"
 
 	"tdb/internal/cycle"
@@ -119,9 +120,47 @@ type Options struct {
 	// candidacy (such vertices lie on no cycle of any length). This is an
 	// extension over the paper; see DESIGN.md.
 	SCCPrefilter bool
+	// PrepassWorkers enables the parallel BFS-filter prepass for
+	// TDBPlusPlus: before the sequential top-down loop, that many workers
+	// (each with its own scratch and prefix mask) run the BFS-filter over
+	// all candidates and pre-resolve every one it prunes, producing the
+	// identical cover. Soundness: each candidate is queried on a superset
+	// of the working graph the loop would query it on, and "no constrained
+	// cycle through v" is inherited by subgraphs (see prepass.go). This is
+	// the speedup for graphs that are one giant SCC, where ComputeParallel
+	// gains nothing. 0 disables the prepass (the paper's sequential
+	// behavior); a negative value selects GOMAXPROCS. Ignored by every
+	// other algorithm.
+	PrepassWorkers int
+	// Context, when non-nil, carries cancellation and deadline for the
+	// run: it is polled between candidate steps — and additionally inside
+	// the exponential-worst-case DFS of the plain detector (TDB, BUR) and
+	// DARC; the block detector's O(k*m) queries (TDB+, TDB++) run to
+	// completion — and a done context stops the algorithm and marks the
+	// result TimedOut.
+	Context context.Context
 	// Cancelled, when non-nil, is polled between candidate steps; when it
 	// returns true the algorithm stops and marks the result TimedOut.
+	//
+	// Deprecated: set Context instead (e.g. via context.WithTimeout).
+	// Cancelled is still honored — both hooks stop the run — but new code
+	// should use Context.
 	Cancelled func() bool
+}
+
+// stop returns the unified cancellation poll combining Options.Context and
+// the deprecated Options.Cancelled hook, or nil when neither is set.
+func (o Options) stop() func() bool {
+	switch {
+	case o.Context != nil && o.Cancelled != nil:
+		ctx, fn := o.Context, o.Cancelled
+		return func() bool { return ctx.Err() != nil || fn() }
+	case o.Context != nil:
+		ctx := o.Context
+		return func() bool { return ctx.Err() != nil }
+	default:
+		return o.Cancelled // possibly nil
+	}
 }
 
 func (o Options) withDefaults() Options {
@@ -158,8 +197,13 @@ type Stats struct {
 	Checked int64
 	// SCCSkipped counts candidates exempted by the SCC prefilter.
 	SCCSkipped int64
-	// FilterPruned counts candidates the BFS-filter resolved (TDB++).
+	// FilterPruned counts candidates the BFS-filter resolved inside the
+	// sequential loop (TDB++).
 	FilterPruned int64
+	// PrepassResolved counts candidates the parallel full-graph BFS-filter
+	// prepass resolved before the sequential loop (TDB++ with
+	// Options.PrepassWorkers != 0).
+	PrepassResolved int64
 	// CyclesHit counts cycles discovered while building the cover (BUR).
 	CyclesHit int64
 	// PruneRemoved counts vertices removed by the minimal pass (BUR+) or
@@ -188,21 +232,32 @@ func (r *Result) CoverSet(n int) []bool {
 	return mask
 }
 
-// Compute runs the selected algorithm. It returns an error only for invalid
-// options or (for DARC-DV) an infeasible line-graph blow-up; timeouts are
-// reported through Stats.TimedOut.
+// Compute runs the selected algorithm one-shot, allocating fresh scratch
+// state. For repeated covers over the same graph use an Engine, which pools
+// the O(n) scratch across runs. Compute returns an error only for invalid
+// options or (for DARC-DV) an infeasible line-graph blow-up; timeouts and
+// cancellation (Options.Context) are reported through Stats.TimedOut.
 func Compute(g *digraph.Graph, algo Algorithm, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(g); err != nil {
 		return nil, err
 	}
+	return compute(g, algo, opts, nil)
+}
+
+// compute dispatches a validated computation; rs supplies reusable scratch
+// (nil allocates fresh, the one-shot path).
+func compute(g *digraph.Graph, algo Algorithm, opts Options, rs *runScratch) (*Result, error) {
+	if rs == nil {
+		rs = newRunScratch(g.NumVertices())
+	}
 	switch algo {
 	case BUR:
-		return bottomUp(g, opts, false), nil
+		return bottomUp(g, opts, false, rs), nil
 	case BURPlus:
-		return bottomUp(g, opts, true), nil
+		return bottomUp(g, opts, true, rs), nil
 	case TDB, TDBPlus, TDBPlusPlus:
-		return topDown(g, algo, opts), nil
+		return topDown(g, algo, opts, rs), nil
 	case DARCDV:
 		return darcDV(g, opts)
 	default:
@@ -212,7 +267,7 @@ func Compute(g *digraph.Graph, algo Algorithm, opts Options) (*Result, error) {
 
 // finishStats fills the common fields of a result's statistics.
 func finishStats(r *Result, g *digraph.Graph, algo Algorithm, opts Options, start time.Time) {
-	sort.Slice(r.Cover, func(i, j int) bool { return r.Cover[i] < r.Cover[j] })
+	slices.Sort(r.Cover)
 	r.Stats.Algorithm = algo.String()
 	r.Stats.K = opts.K
 	r.Stats.MinLen = opts.MinLen

@@ -272,7 +272,7 @@ func darcDV(g *digraph.Graph, opts Options) (*Result, error) {
 	r := &Result{}
 
 	d := newDarc(g, opts.K, opts.MinLen)
-	complete := d.run(opts.Cancelled)
+	complete := d.run(opts.stop())
 	r.Stats.TimedOut = !complete
 	r.Stats.PruneRemoved = d.pruned
 	r.Stats.Checked = d.checked

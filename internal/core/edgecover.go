@@ -36,15 +36,16 @@ func TopDownEdges(g *digraph.Graph, opts Options) (*EdgeCoverResult, error) {
 		return nil, err
 	}
 	start := time.Now()
+	stop := opts.stop()
 	r := &EdgeCoverResult{}
 
 	d := newEdgeDetector(g, opts.K, opts.MinLen)
-	d.cancelled = opts.Cancelled
+	d.cancelled = stop
 	// Candidate edges grouped by tail vertex in the configured order.
 	for _, u := range vertexOrder(g, opts) {
 		base := d.bases[u]
 		for i, v := range g.Out(u) {
-			if d.aborted || (opts.Cancelled != nil && opts.Cancelled()) {
+			if d.aborted || (stop != nil && stop()) {
 				r.Stats.TimedOut = true
 				break
 			}

@@ -1,0 +1,123 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"tdb/internal/cycle"
+	"tdb/internal/digraph"
+)
+
+// Engine computes covers over one fixed graph while pooling all O(n)
+// working state — the detectors' epoch-mark/stamp tables, the BFS-filter
+// queues, the active-vertex mask, the candidate-order buffer — across runs.
+// A one-shot Compute allocates that state afresh every call; under repeated
+// traffic over the same graph (the service setting, not the paper's
+// one-shot experiments) the engine brings steady-state allocations per
+// cover down to the result itself. It is safe for concurrent use: each run
+// borrows a private scratch set from an internal sync.Pool.
+//
+// The engine mirrors the package-level entry points: Compute, and
+// ComputeParallel for the SCC-partitioned solver. Context is accepted
+// explicitly and takes precedence over Options.Context.
+type Engine struct {
+	g *digraph.Graph
+	// run-level scratch (mask + order buffer + detector scratch), one per
+	// concurrent sequential run.
+	runPool sync.Pool
+	// detector-level scratch for prepass and parallel workers, which need
+	// many scratches per run.
+	cycPool *cycle.ScratchPool
+}
+
+// NewEngine creates a reusable compute engine over g.
+func NewEngine(g *digraph.Graph) *Engine {
+	e := &Engine{g: g, cycPool: cycle.NewScratchPool(g.NumVertices())}
+	e.runPool.New = func() any { return newRunScratch(g.NumVertices()) }
+	return e
+}
+
+// Graph returns the graph the engine computes over.
+func (e *Engine) Graph() *digraph.Graph { return e.g }
+
+// Compute runs the selected algorithm with pooled scratch state. A nil ctx
+// falls back to opts.Context; a non-nil ctx supersedes it.
+func (e *Engine) Compute(ctx context.Context, algo Algorithm, opts Options) (*Result, error) {
+	if ctx != nil {
+		opts.Context = ctx
+	}
+	opts = opts.withDefaults()
+	if err := opts.validate(e.g); err != nil {
+		return nil, err
+	}
+	rs := e.runPool.Get().(*runScratch)
+	rs.cycPool = e.cycPool
+	defer e.runPool.Put(rs)
+	return compute(e.g, algo, opts, rs)
+}
+
+// ComputeParallel runs the SCC-partitioned parallel solver (see the
+// package-level ComputeParallel) under the engine's graph and context
+// plumbing. The engine's scratch pools do NOT apply here: each component
+// runs on its own induced subgraph, whose size differs from the engine's
+// graph, so per-component state is allocated per run as in the
+// package-level function.
+func (e *Engine) ComputeParallel(ctx context.Context, algo Algorithm, opts Options, workers int) (*Result, error) {
+	if ctx != nil {
+		opts.Context = ctx
+	}
+	return ComputeParallel(e.g, algo, opts, workers)
+}
+
+// runScratch bundles the per-run O(n) buffers of the sequential cover
+// algorithms. The zero state of every buffer is re-established by the
+// borrowing algorithm (mask fill, counter clear), not at release time, so a
+// pooled scratch carries no information between runs.
+type runScratch struct {
+	cyc      *cycle.Scratch      // detector + filter buffers (disjoint groups)
+	active   *digraph.VertexMask // working-graph overlay
+	ids      []VID               // candidate-order buffer
+	h        []int64             // BUR hit counters (lazy)
+	resolved []bool              // prepass result buffer (lazy)
+	pos      []int32             // prepass order-position index (lazy)
+	// cycPool, when non-nil, supplies per-worker detector scratch for the
+	// prepass (set by Engine; nil on the one-shot path).
+	cycPool *cycle.ScratchPool
+}
+
+func newRunScratch(n int) *runScratch {
+	return &runScratch{
+		cyc:    cycle.NewScratch(n),
+		active: digraph.NewVertexMask(n, false),
+		ids:    make([]VID, n),
+	}
+}
+
+// hitCounters returns the zeroed BUR hit-counter buffer.
+func (rs *runScratch) hitCounters(n int) []int64 {
+	if rs.h == nil {
+		rs.h = make([]int64, n)
+	} else {
+		clear(rs.h)
+	}
+	return rs.h
+}
+
+// resolvedBuf returns the zeroed prepass result buffer.
+func (rs *runScratch) resolvedBuf(n int) []bool {
+	if rs.resolved == nil {
+		rs.resolved = make([]bool, n)
+	} else {
+		clear(rs.resolved)
+	}
+	return rs.resolved
+}
+
+// posBuf returns the prepass position buffer (fully overwritten by the
+// caller, so no clearing is needed).
+func (rs *runScratch) posBuf(n int) []int32 {
+	if rs.pos == nil {
+		rs.pos = make([]int32, n)
+	}
+	return rs.pos
+}

@@ -9,8 +9,17 @@ import (
 
 // vertexOrder materializes the candidate processing order for the graph.
 func vertexOrder(g *digraph.Graph, opts Options) []VID {
+	return vertexOrderBuf(g, opts, nil)
+}
+
+// vertexOrderBuf is vertexOrder writing into buf when it has the right
+// length (a pooled engine buffer), allocating otherwise.
+func vertexOrderBuf(g *digraph.Graph, opts Options, buf []VID) []VID {
 	n := g.NumVertices()
-	ids := make([]VID, n)
+	ids := buf
+	if len(ids) != n {
+		ids = make([]VID, n)
+	}
 	for i := range ids {
 		ids[i] = VID(i)
 	}

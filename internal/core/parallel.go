@@ -19,11 +19,14 @@ import (
 //
 // This is an extension over the paper (which is single-threaded): it helps
 // exactly when the cyclic part of the graph splits into many components
-// (program-analysis and circuit workloads often do); a graph that is one
-// giant SCC gains nothing. workers <= 0 selects GOMAXPROCS.
+// (program-analysis and circuit workloads often do). A graph that is one
+// giant SCC gains nothing from the decomposition — for that shape, enable
+// the intra-SCC BFS-filter prepass (Options.PrepassWorkers) instead; the
+// two compose, each component run inheriting the caller's options.
 //
-// The per-component computation inherits algo and opts (Cancelled is polled
-// by every worker; a timeout marks the whole result).
+// Cancellation (Options.Context or the deprecated Options.Cancelled) is
+// polled by every worker; a timeout marks the whole result. workers <= 0
+// selects GOMAXPROCS.
 func ComputeParallel(g *digraph.Graph, algo Algorithm, opts Options, workers int) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(g); err != nil {
@@ -33,6 +36,7 @@ func ComputeParallel(g *digraph.Graph, algo Algorithm, opts Options, workers int
 		workers = runtime.GOMAXPROCS(0)
 	}
 	start := time.Now()
+	stop := opts.stop()
 	r := &Result{}
 
 	comps := scc.Compute(g)
@@ -59,14 +63,39 @@ func ComputeParallel(g *digraph.Graph, algo Algorithm, opts Options, workers int
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// One O(n) membership mask per worker, cleared after each job
+			// in O(|component|) instead of reallocated.
+			keep := make([]bool, g.NumVertices())
 			for j := range jobs {
-				keep := make([]bool, g.NumVertices())
+				if stop != nil && stop() {
+					// Stay on the safe side, as the sequential loop does:
+					// every vertex of an unprocessed component joins the
+					// (partial, non-minimal) cover, so all its cycles stay
+					// covered.
+					mu.Lock()
+					r.Stats.TimedOut = true
+					r.Cover = append(r.Cover, j.verts...)
+					r.Stats.SCCSkipped -= int64(len(j.verts))
+					mu.Unlock()
+					continue // drain the channel
+				}
 				for _, v := range j.verts {
 					keep[v] = true
 				}
 				sub, oldID := g.InducedSubgraph(keep)
+				for _, v := range j.verts {
+					keep[v] = false
+				}
 				subOpts := opts
 				subOpts.SCCPrefilter = false // already decomposed
+				if opts.Weights != nil {
+					// Remap the cost vector to the component's dense IDs.
+					sw := make([]float64, sub.NumVertices())
+					for i, old := range oldID {
+						sw[i] = opts.Weights[old]
+					}
+					subOpts.Weights = sw
+				}
 				if sub.NumVertices() < subOpts.MinLen {
 					// Too small to hold any constrained cycle (e.g. a
 					// 2-vertex SCC when 2-cycles are excluded).
@@ -89,6 +118,7 @@ func ComputeParallel(g *digraph.Graph, algo Algorithm, opts Options, workers int
 					}
 					r.Stats.Checked += res.Stats.Checked
 					r.Stats.FilterPruned += res.Stats.FilterPruned
+					r.Stats.PrepassResolved += res.Stats.PrepassResolved
 					r.Stats.CyclesHit += res.Stats.CyclesHit
 					r.Stats.PruneRemoved += res.Stats.PruneRemoved
 					r.Stats.Detector.Add(res.Stats.Detector)

@@ -1,0 +1,129 @@
+package core
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"tdb/internal/cycle"
+	"tdb/internal/digraph"
+)
+
+// This file implements the parallel BFS-filter prepass for TDB++, the first
+// intra-SCC parallelization in the repository: the SCC-partitioned solver
+// (parallel.go) gains nothing on a graph that is one giant strongly
+// connected component, while the prepass parallelizes inside it.
+//
+// Soundness rests on subgraph inheritance: the BFS-filter (Alg. 11) proves
+// "no constrained cycle through v" on whatever graph it runs on, and the
+// property survives taking subgraphs — removing vertices only destroys
+// cycles. When the sequential loop reaches candidate v, its working graph
+// G0+v holds the candidates ordered before v MINUS the cover collected so
+// far. The prepass queries v on its PREFIX graph — all candidates ordered
+// before v, cover vertices conservatively included — which is a superset of
+// G0+v, so a prefix-graph prune can never turn out wrong in the loop. (The
+// full graph G would be sound by the same lemma, but strictly wasteful:
+// each of its queries costs as much as the LAST loop query, roughly twice
+// the average prefix query, which would make the single-worker prepass
+// slower than the plain sequential loop it replaces.)
+//
+// Each candidate's keep/drop decision is unchanged — the in-loop filter,
+// running on the even smaller G0+v, would have pruned every prepass-pruned
+// vertex too — so TDB++ with the prepass returns the identical cover and
+// only redistributes (and parallelizes) filter work. Workers claim
+// position chunks from an atomic counter; prefix membership is a read-only
+// shared position array (PrefixFilter), so a worker's whole private state
+// is one detector Scratch — no locks and no O(n) setup on the query path.
+// Wall-clock speedup therefore tracks GOMAXPROCS; with a single CPU the
+// pass degrades gracefully to the sequential filter cost.
+
+// prepassChunk is the number of order positions a worker claims per atomic
+// increment: large enough to amortize the atomic, small enough to balance
+// the position-dependent query costs.
+const prepassChunk = 512
+
+// prepass runs the prefix-graph BFS filter over all candidates with
+// opts.PrepassWorkers workers (<0 selects GOMAXPROCS) and returns the
+// resolution mask: resolved[v] reports that v provably lies on no
+// constrained cycle of any graph the sequential loop can query it on.
+// order is the exact candidate order the loop will use; candidates
+// (optional) skips vertices the SCC prefilter already exempted. stop
+// aborts the pass early; an aborted pass is still sound (resolved is only
+// ever set on proof).
+func prepass(g *digraph.Graph, opts Options, order []VID, candidates []bool, stop func() bool, st *Stats, rs *runScratch) []bool {
+	workers := opts.PrepassWorkers
+	if workers < 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := g.NumVertices()
+	resolved := rs.resolvedBuf(n)
+	pos := rs.posBuf(n)
+	for i, v := range order {
+		pos[v] = int32(i)
+	}
+
+	// scan resolves order positions [lo, hi) on one worker's filter.
+	scan := func(f *cycle.PrefixFilter, lo, hi int) int64 {
+		var pruned int64
+		for p := lo; p < hi; p++ {
+			v := order[p]
+			if candidates != nil && !candidates[v] {
+				continue
+			}
+			if f.CanPrune(v, int32(p)) {
+				resolved[v] = true
+				pruned++
+			}
+		}
+		return pruned
+	}
+
+	if workers <= 1 {
+		// Single worker runs inline on the run's own scratch: no
+		// goroutines, no atomics — the cost is the filter queries the
+		// sequential loop is about to skip.
+		f := cycle.NewPrefixFilterWith(g, opts.K, pos, rs.cyc)
+		var pruned int64
+		for lo := 0; lo < n; lo += prepassChunk {
+			if stop != nil && stop() {
+				break
+			}
+			pruned += scan(f, lo, min(lo+prepassChunk, n))
+		}
+		st.PrepassResolved += pruned
+		st.Detector.Add(f.Stats)
+		return resolved
+	}
+
+	var (
+		next atomic.Int64
+		wg   sync.WaitGroup
+		mu   sync.Mutex
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var sc *cycle.Scratch
+			if rs.cycPool != nil {
+				sc = rs.cycPool.Get()
+				defer rs.cycPool.Put(sc)
+			}
+			f := cycle.NewPrefixFilterWith(g, opts.K, pos, sc)
+			var pruned int64
+			for {
+				lo := int(next.Add(prepassChunk)) - prepassChunk
+				if lo >= n || (stop != nil && stop()) {
+					break
+				}
+				pruned += scan(f, lo, min(lo+prepassChunk, n))
+			}
+			mu.Lock()
+			st.PrepassResolved += pruned
+			st.Detector.Add(f.Stats)
+			mu.Unlock()
+		}()
+	}
+	wg.Wait()
+	return resolved
+}

@@ -1,0 +1,115 @@
+package core
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"slices"
+	"testing"
+
+	"tdb/internal/digraph"
+	"tdb/internal/gen"
+	"tdb/internal/verify"
+)
+
+// randomGraph builds a random digraph with n vertices and ~m edges.
+func randomGraph(n, m int, seed uint64) *digraph.Graph {
+	rng := rand.New(rand.NewPCG(seed, seed^0xabcdef))
+	b := digraph.NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u := VID(rng.IntN(n))
+		v := VID(rng.IntN(n))
+		if u != v {
+			b.AddEdge(u, v)
+		}
+	}
+	return b.Build()
+}
+
+// TestPrepassPropertyRandom is the property test for the parallel BFS-filter
+// prepass: on random graphs, across k and worker counts, TDB++ with the
+// prepass must produce a cover that verifies valid AND minimal — and, since
+// the prepass only pre-resolves candidates whose in-loop check would reach
+// the same decision, the cover must equal the sequential TDB++ cover
+// vertex-for-vertex.
+func TestPrepassPropertyRandom(t *testing.T) {
+	graphs := []struct {
+		name string
+		g    *digraph.Graph
+	}{
+		{"sparse-200", randomGraph(200, 400, 1)},
+		{"dense-80", randomGraph(80, 640, 2)},
+		{"sparse-500", randomGraph(500, 900, 3)},
+		{"smallworld-300", gen.SmallWorld(300, 2, 0.3, 4)},
+		{"powerlaw-250", gen.PowerLaw(250, 1000, 2.0, 0.2, 5)},
+	}
+	for _, tc := range graphs {
+		for _, k := range []int{3, 5, 8} {
+			seq, err := Compute(tc.g, TDBPlusPlus, Options{K: k})
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{1, 4} {
+				t.Run(fmt.Sprintf("%s/k=%d/workers=%d", tc.name, k, workers), func(t *testing.T) {
+					r, err := Compute(tc.g, TDBPlusPlus, Options{K: k, PrepassWorkers: workers})
+					if err != nil {
+						t.Fatal(err)
+					}
+					rep := verify.Check(tc.g, k, 3, r.Cover, true)
+					if !rep.Valid {
+						t.Fatalf("invalid cover %v: surviving cycle %v", r.Cover, rep.Witness)
+					}
+					if !rep.Minimal {
+						t.Fatalf("non-minimal cover %v: redundant %v", r.Cover, rep.Redundant)
+					}
+					if !slices.Equal(r.Cover, seq.Cover) {
+						t.Fatalf("prepass cover %v differs from sequential %v", r.Cover, seq.Cover)
+					}
+					if got := r.Stats.PrepassResolved + r.Stats.FilterPruned + r.Stats.Detector.Queries; got == 0 && len(seq.Cover) > 0 {
+						t.Fatal("prepass run did no work at all")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestPrepassThroughEngine exercises the prepass on the pooled-scratch
+// engine path, twice, to catch scratch-reuse contamination.
+func TestPrepassThroughEngine(t *testing.T) {
+	gr := gen.SmallWorld(400, 2, 0.25, 9)
+	e := NewEngine(gr)
+	seq, err := Compute(gr, TDBPlusPlus, Options{K: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 3; round++ {
+		r, err := e.Compute(nil, TDBPlusPlus, Options{K: 5, PrepassWorkers: 4})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !slices.Equal(r.Cover, seq.Cover) {
+			t.Fatalf("round %d: engine prepass cover %v != sequential %v", round, r.Cover, seq.Cover)
+		}
+	}
+}
+
+// TestPrepassStatsAccounting: the prepass actually resolves candidates on a
+// sparse random graph, every vertex is still counted as checked, and
+// resolved candidates never exceed the candidate pool.
+func TestPrepassStatsAccounting(t *testing.T) {
+	gr := randomGraph(300, 700, 11)
+	r, err := Compute(gr, TDBPlusPlus, Options{K: 5, PrepassWorkers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.PrepassResolved == 0 {
+		t.Fatal("expected the prepass to resolve at least one candidate on a sparse random graph")
+	}
+	if r.Stats.Checked != int64(gr.NumVertices()) {
+		t.Fatalf("checked %d candidates, want all %d", r.Stats.Checked, gr.NumVertices())
+	}
+	if r.Stats.PrepassResolved+r.Stats.FilterPruned > r.Stats.Checked {
+		t.Fatalf("resolved %d + filter-pruned %d exceed checked %d",
+			r.Stats.PrepassResolved, r.Stats.FilterPruned, r.Stats.Checked)
+	}
+}

@@ -26,32 +26,43 @@ type detector interface {
 // cover and deactivated again. The invariant — G0 holds no constrained
 // cycle — makes every kept vertex a witness of its own necessity, so the
 // result is minimal (paper Theorem 7).
-func topDown(g *digraph.Graph, algo Algorithm, opts Options) *Result {
+//
+// For TDB++ with Options.PrepassWorkers != 0, a parallel BFS-filter
+// prepass (see prepass.go) resolves candidates on their prefix graphs
+// before the sequential loop; resolved vertices join the working graph
+// without any per-vertex check.
+func topDown(g *digraph.Graph, algo Algorithm, opts Options, rs *runScratch) *Result {
 	start := time.Now()
+	stop := opts.stop()
 	r := &Result{}
-	n := g.NumVertices()
 	candidates := cycleCandidates(g, opts, &r.Stats)
 
-	active := digraph.NewVertexMask(n, false)
+	active := rs.active
+	active.Fill(false)
 
 	var det detector
 	var plainDet *cycle.PlainDetector
 	var blockDet *cycle.BlockDetector
 	if algo == TDB {
-		plainDet = cycle.NewPlainDetector(g, opts.K, opts.MinLen, active.Raw())
-		plainDet.Cancelled = opts.Cancelled // the plain DFS is worst-case O(n^k)
+		plainDet = cycle.NewPlainDetectorWith(g, opts.K, opts.MinLen, active.Raw(), rs.cyc)
+		plainDet.Cancelled = stop // the plain DFS is worst-case O(n^k)
 		det = plainDet
 	} else {
-		blockDet = cycle.NewBlockDetector(g, opts.K, opts.MinLen, active.Raw())
+		blockDet = cycle.NewBlockDetectorWith(g, opts.K, opts.MinLen, active.Raw(), rs.cyc)
 		det = blockDet
 	}
+	order := vertexOrderBuf(g, opts, rs.ids)
 	var filter *cycle.BFSFilter
+	var resolved []bool
 	if algo == TDBPlusPlus {
-		filter = cycle.NewBFSFilter(g, opts.K, active.Raw())
+		filter = cycle.NewBFSFilterWith(g, opts.K, active.Raw(), rs.cyc)
+		if opts.PrepassWorkers != 0 {
+			resolved = prepass(g, opts, order, candidates, stop, &r.Stats, rs)
+		}
 	}
 
-	for _, v := range vertexOrder(g, opts) {
-		if opts.Cancelled != nil && opts.Cancelled() {
+	for _, v := range order {
+		if stop != nil && stop() {
 			// Everything not yet processed stays in the (partial) cover.
 			r.Stats.TimedOut = true
 			r.Cover = append(r.Cover, v)
@@ -62,6 +73,13 @@ func topDown(g *digraph.Graph, algo Algorithm, opts Options) *Result {
 			continue
 		}
 		r.Stats.Checked++
+		if resolved != nil && resolved[v] {
+			// Pre-resolved by the prepass: no constrained cycle through v
+			// in its prefix graph, hence none in the working graph G0+v,
+			// which is a subgraph of it.
+			active.Activate(v)
+			continue
+		}
 		active.Activate(v)
 		necessary := false
 		if filter != nil && filter.CanPrune(v) {
@@ -82,10 +100,12 @@ func topDown(g *digraph.Graph, algo Algorithm, opts Options) *Result {
 		}
 	}
 
+	// The prepass accumulated its filter counters into r.Stats.Detector
+	// already; fold the loop-level detector and filter on top.
 	if plainDet != nil {
-		r.Stats.Detector = plainDet.Stats
+		r.Stats.Detector.Add(plainDet.Stats)
 	} else {
-		r.Stats.Detector = blockDet.Stats
+		r.Stats.Detector.Add(blockDet.Stats)
 	}
 	if filter != nil {
 		r.Stats.Detector.Add(filter.Stats)

@@ -22,10 +22,7 @@ type BFSFilter struct {
 	k      int
 	active []bool
 
-	visited epochMark
-	inNbr   epochMark // marks the in-neighbors of the current start vertex
-	queue   []VID
-	nextQ   []VID
+	s *Scratch // BFS group: visited, inNbr, queue, nextQ
 
 	Stats Stats
 }
@@ -33,17 +30,21 @@ type BFSFilter struct {
 // NewBFSFilter creates a filter for hop constraint k over the subgraph
 // induced by active (nil = whole graph). The active slice is retained.
 func NewBFSFilter(g *digraph.Graph, k int, active []bool) *BFSFilter {
+	return NewBFSFilterWith(g, k, active, nil)
+}
+
+// NewBFSFilterWith is NewBFSFilter borrowing the BFS buffers from s (nil
+// allocates fresh scratch). See Scratch for the sharing rules.
+func NewBFSFilterWith(g *digraph.Graph, k int, active []bool, s *Scratch) *BFSFilter {
 	if active != nil && len(active) != g.NumVertices() {
 		panic("cycle: BFSFilter active mask length mismatch")
 	}
 	if k < 2 {
 		panic("cycle: BFSFilter needs k >= 2")
 	}
-	n := g.NumVertices()
 	return &BFSFilter{
 		g: g, k: k, active: active,
-		visited: newEpochMark(n),
-		inNbr:   newEpochMark(n),
+		s: checkScratch(s, g.NumVertices()),
 	}
 }
 
@@ -60,11 +61,11 @@ func (f *BFSFilter) ShortestClosedWalk(s VID) int {
 		return f.k + 1
 	}
 	// Mark active in-neighbors of s; if none, no cycle can close.
-	f.inNbr.nextEpoch()
+	f.s.inNbr.nextEpoch()
 	anyIn := false
 	for _, x := range f.g.In(s) {
 		if x != s && f.isActive(x) {
-			f.inNbr.set(x)
+			f.s.inNbr.set(x)
 			anyIn = true
 		}
 	}
@@ -72,31 +73,31 @@ func (f *BFSFilter) ShortestClosedWalk(s VID) int {
 		return f.k + 1
 	}
 
-	f.visited.nextEpoch()
-	f.visited.set(s)
-	f.queue = f.queue[:0]
-	f.queue = append(f.queue, s)
+	f.s.visited.nextEpoch()
+	f.s.visited.set(s)
+	f.s.queue = f.s.queue[:0]
+	f.s.queue = append(f.s.queue, s)
 	// A useful hit is an in-neighbor at distance <= k-1 (closed walk <= k),
 	// so generate levels 1..k-1: iterations dist = 0..k-2.
-	for dist := 0; dist <= f.k-2 && len(f.queue) > 0; dist++ {
-		f.nextQ = f.nextQ[:0]
-		for _, u := range f.queue {
+	for dist := 0; dist <= f.k-2 && len(f.s.queue) > 0; dist++ {
+		f.s.nextQ = f.s.nextQ[:0]
+		for _, u := range f.s.queue {
 			for _, w := range f.g.Out(u) {
 				f.Stats.EdgeScans++
-				if w == s || !f.isActive(w) || f.visited.get(w) {
+				if w == s || !f.isActive(w) || f.s.visited.get(w) {
 					continue
 				}
-				if f.inNbr.get(w) {
+				if f.s.inNbr.get(w) {
 					// w is an in-neighbor of s at distance dist+1: the
 					// shortest closed walk has length dist+2.
 					return dist + 2
 				}
-				f.visited.set(w)
+				f.s.visited.set(w)
 				f.Stats.BFSVisited++
-				f.nextQ = append(f.nextQ, w)
+				f.s.nextQ = append(f.s.nextQ, w)
 			}
 		}
-		f.queue, f.nextQ = f.nextQ, f.queue
+		f.s.queue, f.s.nextQ = f.s.nextQ, f.s.queue
 	}
 	return f.k + 1
 }

@@ -30,11 +30,7 @@ type BlockDetector struct {
 	minLen int
 	active []bool
 
-	onPath  epochMark
-	blocked []int32 // valid only when blockStamp matches the query epoch
-	stamp   []uint32
-	epoch   uint32
-	path    []VID
+	s *Scratch // DFS group: onPath, blocked, stamp, epoch, path
 
 	Stats Stats
 }
@@ -43,14 +39,16 @@ type BlockDetector struct {
 // [minLen, k] over the subgraph induced by active (nil = whole graph). The
 // active slice is retained, not copied.
 func NewBlockDetector(g *digraph.Graph, k, minLen int, active []bool) *BlockDetector {
+	return NewBlockDetectorWith(g, k, minLen, active, nil)
+}
+
+// NewBlockDetectorWith is NewBlockDetector borrowing the DFS buffers from s
+// (nil allocates fresh scratch). See Scratch for the sharing rules.
+func NewBlockDetectorWith(g *digraph.Graph, k, minLen int, active []bool, s *Scratch) *BlockDetector {
 	validate(g, k, minLen, active)
-	n := g.NumVertices()
 	return &BlockDetector{
 		g: g, k: k, minLen: minLen, active: active,
-		onPath:  newEpochMark(n),
-		blocked: make([]int32, n),
-		stamp:   make([]uint32, n),
-		path:    make([]VID, 0, k+1),
+		s: checkScratch(s, g.NumVertices()),
 	}
 }
 
@@ -59,48 +57,58 @@ func (d *BlockDetector) isActive(v VID) bool {
 }
 
 func (d *BlockDetector) block(v VID) int {
-	if d.stamp[v] == d.epoch {
-		return int(d.blocked[v])
+	if d.s.stamp[v] == d.s.epoch {
+		return int(d.s.blocked[v])
 	}
 	return 0 // no information: sd >= 0
 }
 
 func (d *BlockDetector) setBlock(v VID, b int) {
-	d.stamp[v] = d.epoch
-	d.blocked[v] = int32(b)
+	d.s.stamp[v] = d.s.epoch
+	d.s.blocked[v] = int32(b)
 }
 
 // FindFrom returns one constrained cycle through s (start vertex first), or
 // nil if none exists in the active subgraph.
 func (d *BlockDetector) FindFrom(s VID) []VID {
-	d.Stats.Queries++
-	if !d.isActive(s) {
+	if !d.query(s) {
 		return nil
 	}
-	d.onPath.nextEpoch()
-	d.epoch++
-	if d.epoch == 0 { // uint32 wraparound: invalidate all stamps
-		for i := range d.stamp {
-			d.stamp[i] = 0
-		}
-		d.epoch = 1
-	}
-	d.path = d.path[:0]
-	d.path = append(d.path, s)
-	d.onPath.set(s)
-	d.Stats.Pushes++
-	if d.search(s, s, 0) {
-		d.Stats.CyclesFound++
-		cyc := make([]VID, len(d.path))
-		copy(cyc, d.path)
-		return cyc
-	}
-	return nil
+	cyc := make([]VID, len(d.s.path))
+	copy(cyc, d.s.path)
+	return cyc
 }
 
 // HasCycleThrough reports whether any constrained cycle passes through s.
+// Unlike FindFrom it does not materialize the found cycle, so repeated
+// cover runs stay allocation-free.
 func (d *BlockDetector) HasCycleThrough(s VID) bool {
-	return d.FindFrom(s) != nil
+	return d.query(s)
+}
+
+// query runs the detector, leaving a found cycle in d.s.path.
+func (d *BlockDetector) query(s VID) bool {
+	d.Stats.Queries++
+	if !d.isActive(s) {
+		return false
+	}
+	d.s.onPath.nextEpoch()
+	d.s.epoch++
+	if d.s.epoch == 0 { // uint32 wraparound: invalidate all stamps
+		for i := range d.s.stamp {
+			d.s.stamp[i] = 0
+		}
+		d.s.epoch = 1
+	}
+	d.s.path = d.s.path[:0]
+	d.s.path = append(d.s.path, s)
+	d.s.onPath.set(s)
+	d.Stats.Pushes++
+	if d.search(s, s, 0) {
+		d.Stats.CyclesFound++
+		return true
+	}
+	return false
 }
 
 func (d *BlockDetector) search(s, u VID, depth int) bool {
@@ -121,7 +129,7 @@ func (d *BlockDetector) search(s, u VID, depth int) bool {
 			d.setBlock(u, 1)
 			continue
 		}
-		if !d.isActive(w) || d.onPath.get(w) {
+		if !d.isActive(w) || d.s.onPath.get(w) {
 			continue
 		}
 		if depth+1 > d.k-1 {
@@ -130,14 +138,14 @@ func (d *BlockDetector) search(s, u VID, depth int) bool {
 		if depth+1+d.block(w) > d.k {
 			continue // barrier prune (Alg. 9 line 13)
 		}
-		d.path = append(d.path, w)
-		d.onPath.set(w)
+		d.s.path = append(d.s.path, w)
+		d.s.onPath.set(w)
 		d.Stats.Pushes++
 		if d.search(s, w, depth+1) {
 			return true
 		}
-		d.path = d.path[:len(d.path)-1]
-		d.onPath.unset(w)
+		d.s.path = d.s.path[:len(d.s.path)-1]
+		d.s.onPath.unset(w)
 	}
 	// Pop-time repair (deviation from Alg. 9, documented in DESIGN.md):
 	// if a rejected 2-cycle proved a short return path from u, blocks set
@@ -158,7 +166,7 @@ func (d *BlockDetector) unblock(u VID, l int) {
 	d.Stats.Unblocks++
 	d.setBlock(u, l)
 	for _, v := range d.g.In(u) {
-		if !d.isActive(v) || d.onPath.get(v) {
+		if !d.isActive(v) || d.s.onPath.get(v) {
 			continue
 		}
 		if d.block(v) > l+1 {

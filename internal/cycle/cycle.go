@@ -14,7 +14,9 @@
 //
 // All detectors operate on an immutable digraph.Graph plus an optional
 // active-vertex mask, so the cover algorithms can grow or shrink their
-// working graph in O(1) per step.
+// working graph in O(1) per step. Their O(n) working state lives in a
+// Scratch that can be borrowed from a per-graph ScratchPool, making
+// repeated covers over the same graph allocation-free (see Scratch).
 //
 // Cycle-length conventions follow the paper: a cycle's length is its number
 // of vertices (= edges); self-loops never count (the graph builder drops
@@ -117,8 +119,7 @@ type PlainDetector struct {
 	minLen int
 	active []bool
 
-	onPath epochMark
-	path   []VID
+	s *Scratch // DFS group: onPath, path
 
 	// Cancelled, when non-nil, is polled periodically inside the DFS; a
 	// true return aborts the current query (FindFrom then returns nil and
@@ -140,11 +141,16 @@ func (d *PlainDetector) WasAborted() bool {
 // over the subgraph induced by active (nil = whole graph). The active slice
 // is retained, not copied, so mask updates are visible to later queries.
 func NewPlainDetector(g *digraph.Graph, k, minLen int, active []bool) *PlainDetector {
+	return NewPlainDetectorWith(g, k, minLen, active, nil)
+}
+
+// NewPlainDetectorWith is NewPlainDetector borrowing the DFS buffers from s
+// (nil allocates fresh scratch). See Scratch for the sharing rules.
+func NewPlainDetectorWith(g *digraph.Graph, k, minLen int, active []bool, s *Scratch) *PlainDetector {
 	validate(g, k, minLen, active)
 	return &PlainDetector{
 		g: g, k: k, minLen: minLen, active: active,
-		onPath: newEpochMark(g.NumVertices()),
-		path:   make([]VID, 0, k+1),
+		s: checkScratch(s, g.NumVertices()),
 	}
 }
 
@@ -156,33 +162,43 @@ func (d *PlainDetector) isActive(v VID) bool {
 // (start vertex first, no repetition of the start at the end), or nil if no
 // constrained cycle through s exists in the active subgraph.
 func (d *PlainDetector) FindFrom(s VID) []VID {
-	d.Stats.Queries++
-	d.aborted = false
-	if !d.isActive(s) {
+	if !d.query(s) {
 		return nil
 	}
-	d.onPath.nextEpoch()
-	d.path = d.path[:0]
-	d.path = append(d.path, s)
-	d.onPath.set(s)
-	d.Stats.Pushes++
-	if d.search(s, s, 0) {
-		d.Stats.CyclesFound++
-		cyc := make([]VID, len(d.path))
-		copy(cyc, d.path)
-		return cyc
-	}
-	return nil
+	cyc := make([]VID, len(d.s.path))
+	copy(cyc, d.s.path)
+	return cyc
 }
 
 // HasCycleThrough reports whether any constrained cycle passes through s.
+// Unlike FindFrom it does not materialize the found cycle, so repeated
+// cover runs stay allocation-free.
 func (d *PlainDetector) HasCycleThrough(s VID) bool {
-	return d.FindFrom(s) != nil
+	return d.query(s)
+}
+
+// query runs the detector, leaving a found cycle in d.s.path.
+func (d *PlainDetector) query(s VID) bool {
+	d.Stats.Queries++
+	d.aborted = false
+	if !d.isActive(s) {
+		return false
+	}
+	d.s.onPath.nextEpoch()
+	d.s.path = d.s.path[:0]
+	d.s.path = append(d.s.path, s)
+	d.s.onPath.set(s)
+	d.Stats.Pushes++
+	if d.search(s, s, 0) {
+		d.Stats.CyclesFound++
+		return true
+	}
+	return false
 }
 
 // search extends the current path (ending at u, with depth edges) by one
 // vertex. It returns true as soon as a constrained cycle is found, leaving
-// the cycle in d.path.
+// the cycle in d.s.path.
 func (d *PlainDetector) search(s, u VID, depth int) bool {
 	for _, w := range d.g.Out(u) {
 		d.Stats.EdgeScans++
@@ -196,7 +212,7 @@ func (d *PlainDetector) search(s, u VID, depth int) bool {
 			}
 			continue // cycle shorter than minLen (a 2-cycle): rejected
 		}
-		if !d.isActive(w) || d.onPath.get(w) {
+		if !d.isActive(w) || d.s.onPath.get(w) {
 			continue
 		}
 		// A cycle through w would have length >= depth+2, so only descend
@@ -204,14 +220,14 @@ func (d *PlainDetector) search(s, u VID, depth int) bool {
 		if depth+1 > d.k-1 {
 			continue
 		}
-		d.path = append(d.path, w)
-		d.onPath.set(w)
+		d.s.path = append(d.s.path, w)
+		d.s.onPath.set(w)
 		d.Stats.Pushes++
 		if d.search(s, w, depth+1) {
 			return true
 		}
-		d.path = d.path[:len(d.path)-1]
-		d.onPath.unset(w)
+		d.s.path = d.s.path[:len(d.s.path)-1]
+		d.s.onPath.unset(w)
 		if d.aborted {
 			return false
 		}

@@ -15,18 +15,22 @@ type Enumerator struct {
 	minLen int
 	active []bool
 
-	onPath epochMark
-	path   []VID
+	s *Scratch // DFS group: onPath, path
 }
 
 // NewEnumerator creates an enumerator for cycles of length in [minLen, k]
 // over the subgraph induced by active (nil = whole graph).
 func NewEnumerator(g *digraph.Graph, k, minLen int, active []bool) *Enumerator {
+	return NewEnumeratorWith(g, k, minLen, active, nil)
+}
+
+// NewEnumeratorWith is NewEnumerator borrowing the DFS buffers from s (nil
+// allocates fresh scratch). See Scratch for the sharing rules.
+func NewEnumeratorWith(g *digraph.Graph, k, minLen int, active []bool, s *Scratch) *Enumerator {
 	validate(g, k, minLen, active)
 	return &Enumerator{
 		g: g, k: k, minLen: minLen, active: active,
-		onPath: newEpochMark(g.NumVertices()),
-		path:   make([]VID, 0, k+1),
+		s: checkScratch(s, g.NumVertices()),
 	}
 }
 
@@ -65,10 +69,10 @@ func (e *Enumerator) Visit(fn func(c []VID) bool) {
 		if !e.isActive(VID(s)) {
 			continue
 		}
-		e.onPath.nextEpoch()
-		e.path = e.path[:0]
-		e.path = append(e.path, VID(s))
-		e.onPath.set(VID(s))
+		e.s.onPath.nextEpoch()
+		e.s.path = e.s.path[:0]
+		e.s.path = append(e.s.path, VID(s))
+		e.s.onPath.set(VID(s))
 		if !e.visitFrom(VID(s), VID(s), 0, fn) {
 			return
 		}
@@ -81,23 +85,23 @@ func (e *Enumerator) visitFrom(s, u VID, depth int, fn func([]VID) bool) bool {
 	for _, w := range e.g.Out(u) {
 		if w == s {
 			if depth+1 >= e.minLen {
-				if !fn(e.path) {
+				if !fn(e.s.path) {
 					return false
 				}
 			}
 			continue
 		}
-		if w < s || !e.isActive(w) || e.onPath.get(w) {
+		if w < s || !e.isActive(w) || e.s.onPath.get(w) {
 			continue
 		}
 		if depth+1 > e.k-1 {
 			continue
 		}
-		e.path = append(e.path, w)
-		e.onPath.set(w)
+		e.s.path = append(e.s.path, w)
+		e.s.onPath.set(w)
 		ok := e.visitFrom(s, w, depth+1, fn)
-		e.path = e.path[:len(e.path)-1]
-		e.onPath.unset(w)
+		e.s.path = e.s.path[:len(e.s.path)-1]
+		e.s.onPath.unset(w)
 		if !ok {
 			return false
 		}

@@ -57,13 +57,13 @@ func TestBlockDetectorEpochWraparound(t *testing.T) {
 	gr := g(3, 0, 1, 1, 2, 2, 0)
 	bd := NewBlockDetector(gr, 5, 3, nil)
 	bd.FindFrom(0) // populate stamps at a low epoch
-	bd.epoch = ^uint32(0) - 1
+	bd.s.epoch = ^uint32(0) - 1
 	for i := 0; i < 4; i++ { // crosses the wrap boundary
 		if bd.FindFrom(0) == nil {
 			t.Fatalf("query %d after epoch fast-forward missed the triangle", i)
 		}
 	}
-	if bd.epoch == 0 {
+	if bd.s.epoch == 0 {
 		t.Fatal("epoch must never rest at 0")
 	}
 	// Correctness after wrap on a graph with real pruning state.
@@ -78,7 +78,7 @@ func TestBlockDetectorEpochWraparound(t *testing.T) {
 	for v := range want {
 		want[v] = hasCycleThroughOracle(g2, 4, 3, nil, VID(v))
 	}
-	bd2.epoch = ^uint32(0) - 3
+	bd2.s.epoch = ^uint32(0) - 3
 	for round := 0; round < 3; round++ {
 		for v := 0; v < 12; v++ {
 			if got := bd2.HasCycleThrough(VID(v)); got != want[v] {

@@ -1,0 +1,100 @@
+package cycle
+
+import "tdb/internal/digraph"
+
+// PrefixFilter is the BFS-filter (Alg. 11) specialized to PREFIX subgraphs
+// of a fixed candidate order: a query for vertex s at limit L runs on the
+// subgraph induced by {v : pos[v] <= L}. It exists for the parallel
+// prepass of the top-down cover, where many workers query different
+// prefixes of one shared order concurrently: a bool mask per worker would
+// cost an O(n) build-and-advance sweep each, while the shared read-only
+// position array makes a worker's marginal state just its Scratch.
+//
+// Semantics match BFSFilter on the equivalent mask: CanPrune(s, L) true
+// proves no constrained cycle through s exists in the prefix subgraph —
+// and therefore, by subgraph inheritance, in any subgraph of it.
+//
+// The BFS body deliberately duplicates BFSFilter.ShortestClosedWalk
+// rather than sharing a predicate-parameterized helper: the membership
+// test sits in the hottest loop of the whole cover computation, and an
+// indirect call there is measurable. The two copies are pinned together
+// by TestPrefixFilterMatchesBFSFilter; change them in lockstep.
+type PrefixFilter struct {
+	g   *digraph.Graph
+	k   int
+	pos []int32 // pos[v] = rank of v in the candidate order
+
+	s *Scratch // BFS group: visited, inNbr, queue, nextQ
+
+	Stats Stats
+}
+
+// NewPrefixFilterWith creates a prefix filter for hop constraint k over the
+// order described by pos (pos[v] = rank of vertex v), borrowing the BFS
+// buffers from s (nil allocates fresh scratch). The pos slice is retained
+// and must stay immutable while the filter is in use; it may be shared by
+// any number of filters across goroutines.
+func NewPrefixFilterWith(g *digraph.Graph, k int, pos []int32, s *Scratch) *PrefixFilter {
+	if len(pos) != g.NumVertices() {
+		panic("cycle: PrefixFilter pos length mismatch")
+	}
+	if k < 2 {
+		panic("cycle: PrefixFilter needs k >= 2")
+	}
+	return &PrefixFilter{
+		g: g, k: k, pos: pos,
+		s: checkScratch(s, g.NumVertices()),
+	}
+}
+
+// CanPrune reports whether s provably lies on no cycle of length <= k in
+// the prefix subgraph {v : pos[v] <= limit}. A false result is
+// inconclusive. The BFS mirrors BFSFilter.ShortestClosedWalk.
+func (f *PrefixFilter) CanPrune(s VID, limit int32) bool {
+	f.Stats.Queries++
+	if f.pos[s] > limit {
+		return true // s itself outside the prefix: vacuously no cycle
+	}
+	// Mark in-prefix in-neighbors of s; if none, no cycle can close.
+	f.s.inNbr.nextEpoch()
+	anyIn := false
+	for _, x := range f.g.In(s) {
+		if x != s && f.pos[x] <= limit {
+			f.s.inNbr.set(x)
+			anyIn = true
+		}
+	}
+	if !anyIn {
+		f.Stats.BFSPruned++
+		return true
+	}
+
+	f.s.visited.nextEpoch()
+	f.s.visited.set(s)
+	f.s.queue = f.s.queue[:0]
+	f.s.queue = append(f.s.queue, s)
+	// A useful hit is an in-neighbor at distance <= k-1 (closed walk <= k),
+	// so generate levels 1..k-1: iterations dist = 0..k-2.
+	for dist := 0; dist <= f.k-2 && len(f.s.queue) > 0; dist++ {
+		f.s.nextQ = f.s.nextQ[:0]
+		for _, u := range f.s.queue {
+			for _, w := range f.g.Out(u) {
+				f.Stats.EdgeScans++
+				if w == s || f.pos[w] > limit || f.s.visited.get(w) {
+					continue
+				}
+				if f.s.inNbr.get(w) {
+					// Closed walk of length dist+2 <= k found through s:
+					// inconclusive, the caller must fall through.
+					return false
+				}
+				f.s.visited.set(w)
+				f.Stats.BFSVisited++
+				f.s.nextQ = append(f.s.nextQ, w)
+			}
+		}
+		f.s.queue, f.s.nextQ = f.s.nextQ, f.s.queue
+	}
+	f.Stats.BFSPruned++
+	return true
+}

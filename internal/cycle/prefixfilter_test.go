@@ -1,0 +1,52 @@
+package cycle
+
+import (
+	"math/rand/v2"
+	"testing"
+
+	"tdb/internal/digraph"
+)
+
+// TestPrefixFilterMatchesBFSFilter pins the deliberately duplicated BFS
+// bodies of PrefixFilter and BFSFilter together: for random graphs, orders
+// and limits, CanPrune(s, limit) must agree with a BFSFilter over the
+// equivalent bool mask for every in-prefix start vertex.
+func TestPrefixFilterMatchesBFSFilter(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	for trial := 0; trial < 30; trial++ {
+		n := 10 + rng.IntN(40)
+		b := digraph.NewBuilder(n)
+		m := n * (1 + rng.IntN(4))
+		for i := 0; i < m; i++ {
+			u, v := VID(rng.IntN(n)), VID(rng.IntN(n))
+			if u != v {
+				b.AddEdge(u, v)
+			}
+		}
+		gr := b.Build()
+		k := 3 + rng.IntN(6)
+
+		// A random candidate order, as the prepass uses.
+		order := rng.Perm(n)
+		pos := make([]int32, n)
+		for i, v := range order {
+			pos[v] = int32(i)
+		}
+		pf := NewPrefixFilterWith(gr, k, pos, nil)
+
+		for _, limit := range []int{0, n / 3, n - 1} {
+			mask := make([]bool, n)
+			for p := 0; p <= limit; p++ {
+				mask[order[p]] = true
+			}
+			bf := NewBFSFilterWith(gr, k, mask, nil)
+			for p := 0; p <= limit; p++ {
+				s := VID(order[p])
+				if got, want := pf.CanPrune(s, int32(limit)), bf.CanPrune(s); got != want {
+					t.Fatalf("trial %d n=%d k=%d limit=%d s=%d: PrefixFilter=%v BFSFilter=%v",
+						trial, n, k, limit, s, got, want)
+				}
+			}
+		}
+	}
+}

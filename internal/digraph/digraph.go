@@ -247,7 +247,6 @@ func (b *Builder) Build() *Graph {
 	}
 	for i, e := range dedup {
 		g.outAdj[i] = e.V
-		_ = i
 	}
 	// In-CSR via counting sort on V; per-vertex in-lists come out sorted by U
 	// because we scan edges in (U, V) order.

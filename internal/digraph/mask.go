@@ -56,6 +56,19 @@ func (m *VertexMask) Deactivate(v VID) bool {
 	return true
 }
 
+// Fill sets every vertex to the given state in one pass. It lets a pooled
+// mask be reused across cover runs without reallocating.
+func (m *VertexMask) Fill(active bool) {
+	for i := range m.active {
+		m.active[i] = active
+	}
+	if active {
+		m.count = len(m.active)
+	} else {
+		m.count = 0
+	}
+}
+
 // NumActive returns the number of active vertices.
 func (m *VertexMask) NumActive() int {
 	return m.count

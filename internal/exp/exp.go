@@ -11,6 +11,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -185,15 +186,9 @@ func (c Config) run(g *digraph.Graph, algo core.Algorithm, k, minLen int) Cell {
 		opts.Order = c.Order
 	}
 	if c.Timeout > 0 {
-		deadline := time.Now().Add(c.Timeout)
-		var tick int
-		opts.Cancelled = func() bool {
-			tick++
-			if tick%64 != 0 {
-				return false
-			}
-			return time.Now().After(deadline)
-		}
+		ctx, cancel := context.WithTimeout(context.Background(), c.Timeout)
+		defer cancel()
+		opts.Context = ctx
 	}
 	res, err := core.Compute(g, algo, opts)
 	if err != nil {

@@ -1,6 +1,7 @@
 package exp
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -31,7 +32,9 @@ func EdgeAblation(cfg Config) *Table {
 		}()
 
 		tdbeCell := func() Cell {
-			opts := core.Options{K: cfg.K, Order: cfg.Order, Cancelled: deadlineFn(cfg.Timeout)}
+			ctx, cancel := timeoutCtx(cfg.Timeout)
+			defer cancel()
+			opts := core.Options{K: cfg.K, Order: cfg.Order, Context: ctx}
 			r, err := core.TopDownEdges(g, opts)
 			if err != nil {
 				return Cell{TimedOut: true}
@@ -65,7 +68,9 @@ func ParallelAblation(cfg Config) *Table {
 		g := gen.PlantedCycles(s.n, s.cyc, 3, cfg.K, s.bg, 77).Graph
 		seq := cfg.run(g, core.TDBPlusPlus, cfg.K, 0)
 		par := func() Cell {
-			opts := core.Options{K: cfg.K, Order: cfg.Order, Cancelled: deadlineFn(cfg.Timeout)}
+			ctx, cancel := timeoutCtx(cfg.Timeout)
+			defer cancel()
+			opts := core.Options{K: cfg.K, Order: cfg.Order, Context: ctx}
 			r, err := core.ComputeParallel(g, core.TDBPlusPlus, opts, 0)
 			if err != nil {
 				return Cell{TimedOut: true}
@@ -79,6 +84,16 @@ func ParallelAblation(cfg Config) *Table {
 	return t
 }
 
+// timeoutCtx returns a context bounded by timeout (background when <= 0).
+func timeoutCtx(timeout time.Duration) (context.Context, context.CancelFunc) {
+	if timeout <= 0 {
+		return context.Background(), func() {}
+	}
+	return context.WithTimeout(context.Background(), timeout)
+}
+
+// deadlineFn adapts the config timeout for the one remaining entry point
+// that takes a raw poll hook (core.DARCEdges).
 func deadlineFn(timeout time.Duration) func() bool {
 	if timeout <= 0 {
 		return nil

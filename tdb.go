@@ -34,6 +34,8 @@
 package tdb
 
 import (
+	"context"
+
 	"tdb/internal/core"
 	"tdb/internal/cycle"
 	"tdb/internal/digraph"
@@ -109,8 +111,38 @@ type Options struct {
 	Weights []float64
 	// SCCPrefilter exempts vertices outside non-trivial SCCs up front.
 	SCCPrefilter bool
+	// PrepassWorkers enables the parallel BFS-filter prepass for the
+	// TDB++ algorithm: that many workers (negative selects GOMAXPROCS)
+	// pre-resolve candidates before the sequential top-down loop, the
+	// cover produced being identical. This is the speedup for graphs that
+	// are one giant SCC, where CoverParallel's SCC decomposition gains
+	// nothing. 0 (the default) keeps the paper's sequential behavior.
+	PrepassWorkers int
+	// Context, when non-nil, carries cancellation and deadline for the
+	// run; a done context stops the computation and marks the result
+	// TimedOut.
+	Context context.Context
 	// Cancelled, polled between steps, stops the run early when true.
+	//
+	// Deprecated: set Context instead (e.g. via context.WithTimeout).
+	// Cancelled is still honored.
 	Cancelled func() bool
+}
+
+// toCore translates the public options for the core layer.
+func (o *Options) toCore(k int) core.Options {
+	c := core.Options{K: k}
+	if o != nil {
+		c.MinLen = o.MinLen
+		c.Order = o.Order
+		c.Seed = o.Seed
+		c.Weights = o.Weights
+		c.SCCPrefilter = o.SCCPrefilter
+		c.PrepassWorkers = o.PrepassWorkers
+		c.Context = o.Context
+		c.Cancelled = o.Cancelled
+	}
+	return c
 }
 
 // Result is a computed cover plus run statistics.
@@ -128,16 +160,45 @@ func Cover(g *Graph, k int, opts *Options) (*Result, error) {
 
 // CoverWith is Cover with an explicit algorithm choice.
 func CoverWith(g *Graph, algo Algorithm, k int, opts *Options) (*Result, error) {
-	o := core.Options{K: k}
-	if opts != nil {
-		o.MinLen = opts.MinLen
-		o.Order = opts.Order
-		o.Seed = opts.Seed
-		o.Weights = opts.Weights
-		o.SCCPrefilter = opts.SCCPrefilter
-		o.Cancelled = opts.Cancelled
-	}
-	return core.Compute(g, algo, o)
+	return core.Compute(g, algo, opts.toCore(k))
+}
+
+// Engine computes repeated covers over one fixed graph while pooling all
+// O(n) working state (detector tables, filter queues, masks) across runs —
+// the entry point for serving heavy repeated traffic. One-shot Cover calls
+// allocate that state afresh on every run; an Engine brings steady-state
+// allocations down to the returned result. Engines are safe for concurrent
+// use.
+type Engine struct {
+	e *core.Engine
+}
+
+// NewEngine creates a reusable compute engine over g.
+func NewEngine(g *Graph) *Engine {
+	return &Engine{e: core.NewEngine(g)}
+}
+
+// Graph returns the graph the engine computes over.
+func (e *Engine) Graph() *Graph { return e.e.Graph() }
+
+// Cover is the engine counterpart of the package-level Cover (TDB++ with
+// defaults). ctx bounds the run and supersedes opts.Context when non-nil.
+func (e *Engine) Cover(ctx context.Context, k int, opts *Options) (*Result, error) {
+	return e.CoverWith(ctx, TDBPlusPlus, k, opts)
+}
+
+// CoverWith is Engine.Cover with an explicit algorithm choice.
+func (e *Engine) CoverWith(ctx context.Context, algo Algorithm, k int, opts *Options) (*Result, error) {
+	return e.e.Compute(ctx, algo, opts.toCore(k))
+}
+
+// CoverParallel is the engine counterpart of the package-level
+// CoverParallel (SCC-partitioned decomposition). It shares the engine's
+// context plumbing but not its scratch pools: per-component subgraphs
+// differ in size from the engine's graph, so their state is allocated per
+// run.
+func (e *Engine) CoverParallel(ctx context.Context, algo Algorithm, k int, opts *Options, workers int) (*Result, error) {
+	return e.e.ComputeParallel(ctx, algo, opts.toCore(k), workers)
 }
 
 // CoverAllCycles computes a minimal cover of cycles of EVERY length (the
@@ -164,8 +225,9 @@ func FindCycle(g *Graph, k int, s VID) []VID {
 // HasHopConstrainedCycle reports whether g contains any cycle of length in
 // [3, k].
 func HasHopConstrainedCycle(g *Graph, k int) bool {
-	det := cycle.NewBlockDetector(g, k, cycle.DefaultMinLen, nil)
-	filter := cycle.NewBFSFilter(g, k, nil)
+	sc := cycle.NewScratch(g.NumVertices()) // detector + filter share one scratch
+	det := cycle.NewBlockDetectorWith(g, k, cycle.DefaultMinLen, nil, sc)
+	filter := cycle.NewBFSFilterWith(g, k, nil, sc)
 	for v := 0; v < g.NumVertices(); v++ {
 		if filter.CanPrune(VID(v)) {
 			continue
