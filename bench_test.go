@@ -14,6 +14,7 @@ import (
 
 	"tdb/internal/core"
 	"tdb/internal/cycle"
+	"tdb/internal/digraph"
 	"tdb/internal/exp"
 	"tdb/internal/gen"
 )
@@ -106,6 +107,61 @@ func BenchmarkCoverBURPlus(b *testing.B)     { benchCover(b, BURPlus, 5) }
 func BenchmarkCoverDARCDV(b *testing.B)      { benchCover(b, DARCDV, 4) }
 
 // ---- primitive-level benchmarks ----
+
+// BenchmarkActiveTraversal contrasts the two working-graph representations
+// at 5% live vertices — the regime the top-down cover spends most of its
+// life in. Iterate/* measures the raw inner loop (full-CSR scan filtered
+// through a []bool mask vs. the view's branch-free live slice);
+// Detector/* measures a full block-detector query on the same subgraph.
+func BenchmarkActiveTraversal(b *testing.B) {
+	g := benchGraph()
+	n := g.NumVertices()
+	rng := rand.New(rand.NewPCG(1, 2))
+	active := make([]bool, n)
+	view := digraph.NewActiveAdjacency(g, false)
+	var live []VID
+	for v := 0; v < n; v++ {
+		if rng.IntN(20) == 0 {
+			active[v] = true
+			view.Activate(VID(v))
+			live = append(live, VID(v))
+		}
+	}
+	var sink int
+	b.Run("Iterate/Masked", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, v := range live {
+				for _, w := range g.Out(v) {
+					if active[w] {
+						sink += int(w)
+					}
+				}
+			}
+		}
+	})
+	b.Run("Iterate/View", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for _, v := range live {
+				for _, w := range view.ActiveOut(v) {
+					sink += int(w)
+				}
+			}
+		}
+	})
+	_ = sink
+	b.Run("Detector/Masked", func(b *testing.B) {
+		det := cycle.NewBlockDetector(g, 5, 3, active)
+		for i := 0; i < b.N; i++ {
+			det.HasCycleThrough(live[i%len(live)])
+		}
+	})
+	b.Run("Detector/View", func(b *testing.B) {
+		det := cycle.NewBlockDetectorView(view, 5, 3, nil)
+		for i := 0; i < b.N; i++ {
+			det.HasCycleThrough(live[i%len(live)])
+		}
+	})
+}
 
 // BenchmarkBlockDetector measures the paper's O(km) NodeNecessary query.
 func BenchmarkBlockDetector(b *testing.B) {
@@ -286,11 +342,12 @@ func benchSingleSCCGraph(n int) *Graph {
 }
 
 // BenchmarkPrepassSingleSCC measures TDB++ with the parallel BFS-filter
-// prepass on a single-SCC graph: Workers0 is the sequential baseline,
-// Workers1 must be no slower (the prepass performs the same prefix-graph
-// filter queries the sequential loop then skips), and Workers4 shows the
-// intra-SCC speedup. The Workers4 wall-clock gain tracks available cores
-// (GOMAXPROCS): on a single-CPU machine it degrades to Workers1 behavior.
+// prepass on a single-SCC graph: Workers0 is the sequential baseline and
+// Workers4 shows the intra-SCC speedup. The Workers4 wall-clock gain
+// tracks available cores (GOMAXPROCS): on a single-CPU machine it degrades
+// to Workers1 behavior, which is slightly SLOWER than sequential since the
+// active-adjacency view made the in-loop filter queries it front-runs
+// cheaper (prefix queries scan the full CSR; see DESIGN.md §6-7).
 func BenchmarkPrepassSingleSCC(b *testing.B) {
 	g := benchSingleSCCGraph(60_000)
 	for _, w := range []int{0, 1, 4} {

@@ -27,9 +27,13 @@ func bottomUp(g *digraph.Graph, opts Options, minimal bool, rs *runScratch) *Res
 	n := g.NumVertices()
 	candidates := cycleCandidates(g, opts, &r.Stats)
 
-	active := rs.active
-	active.Fill(true)
-	det := cycle.NewPlainDetectorWith(g, opts.K, opts.MinLen, active.Raw(), rs.cyc)
+	view, active := rs.workingGraph(g, opts, true)
+	var det *cycle.PlainDetector
+	if view != nil {
+		det = cycle.NewPlainDetectorView(view, opts.K, opts.MinLen, rs.cyc)
+	} else {
+		det = cycle.NewPlainDetectorWith(g, opts.K, opts.MinLen, rs.active.Raw(), rs.cyc)
+	}
 	det.Cancelled = stop // aborts even mid-search (worst case O(n^k))
 	h := rs.hitCounters(n)
 
@@ -91,7 +95,7 @@ func findCoverNode(h []int64, c []VID) VID {
 // through v there, v is redundant and is removed from the cover for good
 // (staying restored). Otherwise v is deactivated again. The surviving set is
 // a minimal cover (paper Theorem 4).
-func minimalPass(det *cycle.PlainDetector, active *digraph.VertexMask, cover []VID, st *Stats, stop func() bool) []VID {
+func minimalPass(det *cycle.PlainDetector, active working, cover []VID, st *Stats, stop func() bool) []VID {
 	kept := cover[:0]
 	for _, v := range cover {
 		if stop != nil && stop() {

@@ -140,12 +140,23 @@ type Options struct {
 	// result TimedOut.
 	Context context.Context
 	// Cancelled, when non-nil, is polled between candidate steps; when it
-	// returns true the algorithm stops and marks the result TimedOut.
+	// returns true the algorithm stops and marks the result TimedOut. With
+	// PrepassWorkers != 0 (or under ComputeParallel) the hook is also
+	// polled concurrently from worker goroutines and must be safe for
+	// concurrent use.
 	//
 	// Deprecated: set Context instead (e.g. via context.WithTimeout).
 	// Cancelled is still honored — both hooks stop the run — but new code
 	// should use Context.
 	Cancelled func() bool
+
+	// maskWorkingGraph forces the []bool VertexMask working-graph
+	// representation instead of the compacted digraph.ActiveAdjacency view.
+	// Unexported: the view is strictly a performance representation (see
+	// DESIGN.md §7); the mask path exists as the fallback for graphs beyond
+	// the view's int32 edge limit and for equivalence tests and comparison
+	// benchmarks, which reach it from inside this package.
+	maskWorkingGraph bool
 }
 
 // stop returns the unified cancellation poll combining Options.Context and

@@ -8,9 +8,10 @@ import (
 	"tdb/internal/digraph"
 )
 
-// Engine computes covers over one fixed graph while pooling all O(n)
-// working state — the detectors' epoch-mark/stamp tables, the BFS-filter
-// queues, the active-vertex mask, the candidate-order buffer — across runs.
+// Engine computes covers over one fixed graph while pooling all working
+// state — the detectors' epoch-mark/stamp tables, the BFS-filter queues,
+// the active-adjacency working graph (and its mask fallback), the
+// candidate-order buffer — across runs.
 // A one-shot Compute allocates that state afresh every call; under repeated
 // traffic over the same graph (the service setting, not the paper's
 // one-shot experiments) the engine brings steady-state allocations per
@@ -74,12 +75,15 @@ func (e *Engine) ComputeParallel(ctx context.Context, algo Algorithm, opts Optio
 // borrowing algorithm (mask fill, counter clear), not at release time, so a
 // pooled scratch carries no information between runs.
 type runScratch struct {
-	cyc      *cycle.Scratch      // detector + filter buffers (disjoint groups)
-	active   *digraph.VertexMask // working-graph overlay
-	ids      []VID               // candidate-order buffer
-	h        []int64             // BUR hit counters (lazy)
-	resolved []bool              // prepass result buffer (lazy)
-	pos      []int32             // prepass order-position index (lazy)
+	cyc    *cycle.Scratch      // detector + filter buffers (disjoint groups)
+	active *digraph.VertexMask // working-graph overlay (mask fallback; lazy)
+	// view is the compacted active-adjacency working graph (lazy; pooled
+	// across runs so steady-state engine covers stay allocation-free).
+	view     *digraph.ActiveAdjacency
+	ids      []VID   // candidate-order buffer
+	h        []int64 // BUR hit counters (lazy)
+	resolved []bool  // prepass result buffer (lazy)
+	pos      []int32 // prepass order-position index (lazy)
 	// cycPool, when non-nil, supplies per-worker detector scratch for the
 	// prepass (set by Engine; nil on the one-shot path).
 	cycPool *cycle.ScratchPool
@@ -87,10 +91,48 @@ type runScratch struct {
 
 func newRunScratch(n int) *runScratch {
 	return &runScratch{
-		cyc:    cycle.NewScratch(n),
-		active: digraph.NewVertexMask(n, false),
-		ids:    make([]VID, n),
+		cyc: cycle.NewScratch(n),
+		ids: make([]VID, n),
 	}
+}
+
+// viewMinAvgDegree gates the active-adjacency view on graph density: below
+// an average degree of 2 the graph is forest/DAG-like, detector queries are
+// already near-free (most vertices have no active in-neighbor to even start
+// a walk from), and the view's O(m) build plus O(deg) activation swaps
+// cannot be recouped — measured ~1.7x slower on a 30k-vertex planted-cycles
+// graph with davg 1.4, while power-law graphs win with the view from davg 2
+// up (BenchmarkCoverWorkingGraph, DESIGN.md §7).
+const viewMinAvgDegree = 2
+
+// workingGraph returns the run's working-graph representation reset to the
+// given initial state. The default is the compacted active-adjacency view
+// (first return non-nil): detector scans then touch exactly the live edges.
+// The []bool VertexMask is the fallback for graphs beyond the view's int32
+// edge limit, for near-acyclic graphs below the view's density cutoff, and
+// for the maskWorkingGraph opt-out (equivalence tests, comparison
+// benchmarks).
+func (rs *runScratch) workingGraph(g *digraph.Graph, opts Options, allActive bool) (*digraph.ActiveAdjacency, working) {
+	if opts.maskWorkingGraph || !digraph.FitsActiveAdjacency(g) ||
+		g.NumEdges() < viewMinAvgDegree*g.NumVertices() {
+		if rs.active == nil {
+			rs.active = digraph.NewVertexMask(g.NumVertices(), false)
+		}
+		rs.active.Fill(allActive)
+		return nil, rs.active
+	}
+	if rs.view == nil || rs.view.Graph() != g {
+		rs.view = digraph.NewActiveAdjacency(g, allActive)
+	} else if allActive {
+		// The bottom-up cover's results depend on the order the DFS scans
+		// live neighbors, so a pooled view must look exactly like a fresh
+		// one; the top-down family only asks order-independent questions
+		// and gets the cheap O(n) reset.
+		rs.view.ResetCanonical(allActive)
+	} else {
+		rs.view.Reset(allActive)
+	}
+	return rs.view, rs.view
 }
 
 // hitCounters returns the zeroed BUR hit-counter buffer.

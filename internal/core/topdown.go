@@ -12,6 +12,15 @@ type detector interface {
 	HasCycleThrough(s VID) bool
 }
 
+// working is the mutable working-graph surface the cover loops drive. Both
+// representations implement it: digraph.VertexMask (O(1) toggles, detectors
+// filter every scanned edge) and digraph.ActiveAdjacency (O(deg) toggles,
+// detectors traverse only live edges). See runScratch.workingGraph.
+type working interface {
+	Activate(v VID) bool
+	Deactivate(v VID) bool
+}
+
 // topDown implements the paper's top-down cover (Alg. 8) in its three
 // variants:
 //
@@ -37,25 +46,36 @@ func topDown(g *digraph.Graph, algo Algorithm, opts Options, rs *runScratch) *Re
 	r := &Result{}
 	candidates := cycleCandidates(g, opts, &r.Stats)
 
-	active := rs.active
-	active.Fill(false)
+	view, active := rs.workingGraph(g, opts, false)
 
 	var det detector
 	var plainDet *cycle.PlainDetector
 	var blockDet *cycle.BlockDetector
 	if algo == TDB {
-		plainDet = cycle.NewPlainDetectorWith(g, opts.K, opts.MinLen, active.Raw(), rs.cyc)
+		if view != nil {
+			plainDet = cycle.NewPlainDetectorView(view, opts.K, opts.MinLen, rs.cyc)
+		} else {
+			plainDet = cycle.NewPlainDetectorWith(g, opts.K, opts.MinLen, rs.active.Raw(), rs.cyc)
+		}
 		plainDet.Cancelled = stop // the plain DFS is worst-case O(n^k)
 		det = plainDet
 	} else {
-		blockDet = cycle.NewBlockDetectorWith(g, opts.K, opts.MinLen, active.Raw(), rs.cyc)
+		if view != nil {
+			blockDet = cycle.NewBlockDetectorView(view, opts.K, opts.MinLen, rs.cyc)
+		} else {
+			blockDet = cycle.NewBlockDetectorWith(g, opts.K, opts.MinLen, rs.active.Raw(), rs.cyc)
+		}
 		det = blockDet
 	}
 	order := vertexOrderBuf(g, opts, rs.ids)
 	var filter *cycle.BFSFilter
 	var resolved []bool
 	if algo == TDBPlusPlus {
-		filter = cycle.NewBFSFilterWith(g, opts.K, active.Raw(), rs.cyc)
+		if view != nil {
+			filter = cycle.NewBFSFilterView(view, opts.K, rs.cyc)
+		} else {
+			filter = cycle.NewBFSFilterWith(g, opts.K, rs.active.Raw(), rs.cyc)
+		}
 		if opts.PrepassWorkers != 0 {
 			resolved = prepass(g, opts, order, candidates, stop, &r.Stats, rs)
 		}
@@ -63,9 +83,17 @@ func topDown(g *digraph.Graph, algo Algorithm, opts Options, rs *runScratch) *Re
 
 	for _, v := range order {
 		if stop != nil && stop() {
-			// Everything not yet processed stays in the (partial) cover.
+			// Everything not yet processed stays in the (partial) cover —
+			// except vertices the SCC/candidate prefilter or the prepass
+			// already proved to lie on no constrained cycle, which can
+			// never be needed: a surviving cycle through a resolved vertex
+			// would have to lie inside its prefix graph (refuted by the
+			// prepass) or pass through a later unprocessed candidate, which
+			// is itself kept in the cover.
 			r.Stats.TimedOut = true
-			r.Cover = append(r.Cover, v)
+			if (candidates == nil || candidates[v]) && (resolved == nil || !resolved[v]) {
+				r.Cover = append(r.Cover, v)
+			}
 			continue
 		}
 		if candidates != nil && !candidates[v] {

@@ -18,9 +18,8 @@ import "tdb/internal/digraph"
 // The BFS stops as soon as it settles any in-neighbor of s, so it touches at
 // most min(m, frontier within k-1 hops) edges.
 type BFSFilter struct {
-	g      *digraph.Graph
-	k      int
-	active []bool
+	adjacency
+	k int
 
 	s *Scratch // BFS group: visited, inNbr, queue, nextQ
 
@@ -43,13 +42,23 @@ func NewBFSFilterWith(g *digraph.Graph, k int, active []bool, s *Scratch) *BFSFi
 		panic("cycle: BFSFilter needs k >= 2")
 	}
 	return &BFSFilter{
-		g: g, k: k, active: active,
+		adjacency: maskAdjacency(g, active), k: k,
 		s: checkScratch(s, g.NumVertices()),
 	}
 }
 
-func (f *BFSFilter) isActive(v VID) bool {
-	return f.active == nil || f.active[v]
+// NewBFSFilterView is NewBFSFilterWith over an active-adjacency
+// working-graph view instead of a mask: the BFS then expands exactly the
+// live edges (see digraph.ActiveAdjacency). The view is retained, so
+// Activate/Deactivate calls between queries are visible to later queries.
+func NewBFSFilterView(view *digraph.ActiveAdjacency, k int, s *Scratch) *BFSFilter {
+	if k < 2 {
+		panic("cycle: BFSFilter needs k >= 2")
+	}
+	return &BFSFilter{
+		adjacency: viewAdjacency(view), k: k,
+		s: checkScratch(s, view.Len()),
+	}
 }
 
 // ShortestClosedWalk returns the length of the shortest closed walk through
@@ -57,14 +66,14 @@ func (f *BFSFilter) isActive(v VID) bool {
 // (including the no-walk case). Values <= k are exact.
 func (f *BFSFilter) ShortestClosedWalk(s VID) int {
 	f.Stats.Queries++
-	if !f.isActive(s) {
+	if !f.startActive(s) {
 		return f.k + 1
 	}
 	// Mark active in-neighbors of s; if none, no cycle can close.
 	f.s.inNbr.nextEpoch()
 	anyIn := false
-	for _, x := range f.g.In(s) {
-		if x != s && f.isActive(x) {
+	for _, x := range f.in(s) {
+		if x != s && (f.active == nil || f.active[x]) {
 			f.s.inNbr.set(x)
 			anyIn = true
 		}
@@ -82,9 +91,11 @@ func (f *BFSFilter) ShortestClosedWalk(s VID) int {
 	for dist := 0; dist <= f.k-2 && len(f.s.queue) > 0; dist++ {
 		f.s.nextQ = f.s.nextQ[:0]
 		for _, u := range f.s.queue {
-			for _, w := range f.g.Out(u) {
+			for _, w := range f.out(u) {
 				f.Stats.EdgeScans++
-				if w == s || !f.isActive(w) || f.s.visited.get(w) {
+				// On the view path every scanned w is live; only the mask
+				// filters.
+				if w == s || (f.active != nil && !f.active[w]) || f.s.visited.get(w) {
 					continue
 				}
 				if f.s.inNbr.get(w) {

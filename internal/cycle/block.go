@@ -25,10 +25,9 @@ import "tdb/internal/digraph"
 // condition with the updated block forces it), so a query pushes every
 // vertex at most k times and runs in O(k*m) — Theorem 6.
 type BlockDetector struct {
-	g      *digraph.Graph
+	adjacency
 	k      int
 	minLen int
-	active []bool
 
 	s *Scratch // DFS group: onPath, blocked, stamp, epoch, path
 
@@ -47,13 +46,22 @@ func NewBlockDetector(g *digraph.Graph, k, minLen int, active []bool) *BlockDete
 func NewBlockDetectorWith(g *digraph.Graph, k, minLen int, active []bool, s *Scratch) *BlockDetector {
 	validate(g, k, minLen, active)
 	return &BlockDetector{
-		g: g, k: k, minLen: minLen, active: active,
+		adjacency: maskAdjacency(g, active), k: k, minLen: minLen,
 		s: checkScratch(s, g.NumVertices()),
 	}
 }
 
-func (d *BlockDetector) isActive(v VID) bool {
-	return d.active == nil || d.active[v]
+// NewBlockDetectorView is NewBlockDetectorWith over an active-adjacency
+// working-graph view instead of a mask: the DFS and the Unblock propagation
+// then iterate exactly the live edges (see digraph.ActiveAdjacency). The
+// view is retained, so Activate/Deactivate calls between queries are
+// visible to later queries.
+func NewBlockDetectorView(view *digraph.ActiveAdjacency, k, minLen int, s *Scratch) *BlockDetector {
+	validate(view.Graph(), k, minLen, nil)
+	return &BlockDetector{
+		adjacency: viewAdjacency(view), k: k, minLen: minLen,
+		s: checkScratch(s, view.Len()),
+	}
 }
 
 func (d *BlockDetector) block(v VID) int {
@@ -89,7 +97,7 @@ func (d *BlockDetector) HasCycleThrough(s VID) bool {
 // query runs the detector, leaving a found cycle in d.s.path.
 func (d *BlockDetector) query(s VID) bool {
 	d.Stats.Queries++
-	if !d.isActive(s) {
+	if !d.startActive(s) {
 		return false
 	}
 	d.s.onPath.nextEpoch()
@@ -117,7 +125,7 @@ func (d *BlockDetector) search(s, u VID, depth int) bool {
 		// Pessimistic bound, valid if this subtree fails (Alg. 9 line 3).
 		d.setBlock(u, pess)
 	}
-	for _, w := range d.g.Out(u) {
+	for _, w := range d.out(u) {
 		d.Stats.EdgeScans++
 		if w == s {
 			if depth+1 >= d.minLen {
@@ -129,7 +137,8 @@ func (d *BlockDetector) search(s, u VID, depth int) bool {
 			d.setBlock(u, 1)
 			continue
 		}
-		if !d.isActive(w) || d.s.onPath.get(w) {
+		// On the view path every scanned w is live; only the mask filters.
+		if (d.active != nil && !d.active[w]) || d.s.onPath.get(w) {
 			continue
 		}
 		if depth+1 > d.k-1 {
@@ -165,8 +174,8 @@ func (d *BlockDetector) search(s, u VID, depth int) bool {
 func (d *BlockDetector) unblock(u VID, l int) {
 	d.Stats.Unblocks++
 	d.setBlock(u, l)
-	for _, v := range d.g.In(u) {
-		if !d.isActive(v) || d.s.onPath.get(v) {
+	for _, v := range d.in(u) {
+		if (d.active != nil && !d.active[v]) || d.s.onPath.get(v) {
 			continue
 		}
 		if d.block(v) > l+1 {

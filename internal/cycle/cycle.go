@@ -12,11 +12,14 @@
 //   - Enumerator: a bounded enumeration of all constrained cycles, used as a
 //     test oracle and by the DARC baseline.
 //
-// All detectors operate on an immutable digraph.Graph plus an optional
-// active-vertex mask, so the cover algorithms can grow or shrink their
-// working graph in O(1) per step. Their O(n) working state lives in a
-// Scratch that can be borrowed from a per-graph ScratchPool, making
-// repeated covers over the same graph allocation-free (see Scratch).
+// All detectors operate on an immutable digraph.Graph plus either an
+// optional active-vertex mask (O(1) activation, O(full degree) scans) or a
+// digraph.ActiveAdjacency working-graph view (O(deg) activation, scans
+// proportional to the LIVE degree) — the cover algorithms use the view by
+// default and fall back to the mask; see DESIGN.md §7. Their O(n) working
+// state lives in a Scratch that can be borrowed from a per-graph
+// ScratchPool, making repeated covers over the same graph allocation-free
+// (see Scratch).
 //
 // Cycle-length conventions follow the paper: a cycle's length is its number
 // of vertices (= edges); self-loops never count (the graph builder drops
@@ -114,10 +117,9 @@ func (e *epochMark) get(v VID) bool { return e.stamp[v] == e.cur }
 // bounded DFS (the paper's Alg. 5). Worst case O(n^k) per query; in practice
 // it terminates at the first cycle found.
 type PlainDetector struct {
-	g      *digraph.Graph
+	adjacency
 	k      int
 	minLen int
-	active []bool
 
 	s *Scratch // DFS group: onPath, path
 
@@ -149,13 +151,21 @@ func NewPlainDetector(g *digraph.Graph, k, minLen int, active []bool) *PlainDete
 func NewPlainDetectorWith(g *digraph.Graph, k, minLen int, active []bool, s *Scratch) *PlainDetector {
 	validate(g, k, minLen, active)
 	return &PlainDetector{
-		g: g, k: k, minLen: minLen, active: active,
+		adjacency: maskAdjacency(g, active), k: k, minLen: minLen,
 		s: checkScratch(s, g.NumVertices()),
 	}
 }
 
-func (d *PlainDetector) isActive(v VID) bool {
-	return d.active == nil || d.active[v]
+// NewPlainDetectorView is NewPlainDetectorWith over an active-adjacency
+// working-graph view instead of a mask: the DFS then iterates exactly the
+// live edges (see digraph.ActiveAdjacency). The view is retained, so
+// Activate/Deactivate calls between queries are visible to later queries.
+func NewPlainDetectorView(view *digraph.ActiveAdjacency, k, minLen int, s *Scratch) *PlainDetector {
+	validate(view.Graph(), k, minLen, nil)
+	return &PlainDetector{
+		adjacency: viewAdjacency(view), k: k, minLen: minLen,
+		s: checkScratch(s, view.Len()),
+	}
 }
 
 // FindFrom returns one constrained cycle through s as a vertex sequence
@@ -181,7 +191,7 @@ func (d *PlainDetector) HasCycleThrough(s VID) bool {
 func (d *PlainDetector) query(s VID) bool {
 	d.Stats.Queries++
 	d.aborted = false
-	if !d.isActive(s) {
+	if !d.startActive(s) {
 		return false
 	}
 	d.s.onPath.nextEpoch()
@@ -200,7 +210,7 @@ func (d *PlainDetector) query(s VID) bool {
 // vertex. It returns true as soon as a constrained cycle is found, leaving
 // the cycle in d.s.path.
 func (d *PlainDetector) search(s, u VID, depth int) bool {
-	for _, w := range d.g.Out(u) {
+	for _, w := range d.out(u) {
 		d.Stats.EdgeScans++
 		if d.Stats.EdgeScans%4096 == 0 && d.Cancelled != nil && d.Cancelled() {
 			d.aborted = true
@@ -212,7 +222,8 @@ func (d *PlainDetector) search(s, u VID, depth int) bool {
 			}
 			continue // cycle shorter than minLen (a 2-cycle): rejected
 		}
-		if !d.isActive(w) || d.s.onPath.get(w) {
+		// On the view path every scanned w is live; only the mask filters.
+		if (d.active != nil && !d.active[w]) || d.s.onPath.get(w) {
 			continue
 		}
 		// A cycle through w would have length >= depth+2, so only descend

@@ -1,0 +1,236 @@
+package digraph
+
+import (
+	"fmt"
+	"math"
+)
+
+// ActiveAdjacency is a working-graph view over an immutable Graph that keeps,
+// for every vertex, its live (active-endpoint) out- and in-neighbors
+// physically contiguous, so traversals touch exactly the live edges.
+//
+// The VertexMask overlay makes Activate/Deactivate O(1) but leaves every
+// traversal O(full degree): detectors iterate the whole CSR adjacency and
+// filter each entry through a []bool lookup — a branchy, cache-hostile inner
+// loop that dominates the top-down cover, whose working graph is near-empty
+// for most of its life. ActiveAdjacency inverts the trade: Activate(v) and
+// Deactivate(v) cost O(deg(v)), and ActiveOut(v)/ActiveIn(v) return a
+// branch-free slice containing exactly the live neighbors.
+//
+// Representation: each vertex's adjacency segment (a mutable copy of the CSR
+// arrays) is partitioned by a prefix swap — the first live[u] entries of u's
+// segment are precisely u's active neighbors, in unspecified order. A
+// position index keyed by original CSR slot locates any edge's current
+// position in O(1), so moving a vertex into or out of a neighbor's active
+// prefix is a single swap. Cross-reference arrays link the out- and in-copy
+// of each edge, letting Activate(v) reach v's entry in every neighbor list
+// without searching.
+//
+// The view costs 32 bytes per edge plus 12 bytes per vertex on top of the
+// graph, and positions are int32, so it supports graphs with at most
+// MaxInt32 edges (FitsActiveAdjacency); callers fall back to a VertexMask
+// beyond that.
+//
+// ActiveAdjacency is not safe for concurrent use.
+type ActiveAdjacency struct {
+	g      *Graph
+	active []bool
+	count  int
+
+	out halfAdj
+	in  halfAdj
+}
+
+// halfAdj is one direction (out or in) of the partitioned adjacency;
+// segment boundaries come from the graph's CSR index arrays.
+type halfAdj struct {
+	adj   []VID   // mutable copy of the CSR adjacency, permuted per segment
+	slot  []int32 // slot[p]: original CSR slot of the edge now at position p
+	pos   []int32 // pos[i]: current position of the edge at original slot i
+	live  []int32 // live[v]: length of v's active prefix
+	cross []int32 // cross[i]: slot of the same edge in the other direction
+}
+
+// swap exchanges the entries at positions p and q of one segment, keeping
+// the slot/pos index consistent.
+func (h *halfAdj) swap(p, q int64) {
+	if p == q {
+		return
+	}
+	h.adj[p], h.adj[q] = h.adj[q], h.adj[p]
+	ip, iq := h.slot[p], h.slot[q]
+	h.slot[p], h.slot[q] = iq, ip
+	h.pos[ip], h.pos[iq] = int32(q), int32(p)
+}
+
+// FitsActiveAdjacency reports whether g is small enough for the view's
+// int32 position index.
+func FitsActiveAdjacency(g *Graph) bool {
+	return g.NumEdges() <= math.MaxInt32
+}
+
+// NewActiveAdjacency builds a view over g with every vertex active
+// (allActive) or every vertex inactive. Construction is O(n + m); the view
+// retains g.
+func NewActiveAdjacency(g *Graph, allActive bool) *ActiveAdjacency {
+	if !FitsActiveAdjacency(g) {
+		panic(fmt.Sprintf("digraph: graph with m=%d exceeds the active-adjacency limit", g.NumEdges()))
+	}
+	n, m := g.n, g.NumEdges()
+	a := &ActiveAdjacency{
+		g:      g,
+		active: make([]bool, n),
+		out: halfAdj{
+			adj: make([]VID, m), slot: make([]int32, m),
+			pos: make([]int32, m), live: make([]int32, n), cross: make([]int32, m),
+		},
+		in: halfAdj{
+			adj: make([]VID, m), slot: make([]int32, m),
+			pos: make([]int32, m), live: make([]int32, n), cross: make([]int32, m),
+		},
+	}
+	copy(a.out.adj, g.outAdj)
+	copy(a.in.adj, g.inAdj)
+	for i := 0; i < m; i++ {
+		a.out.slot[i], a.out.pos[i] = int32(i), int32(i)
+		a.in.slot[i], a.in.pos[i] = int32(i), int32(i)
+	}
+	// Cross-link the two copies of every edge by replaying the counting pass
+	// that built the in-CSR: scanning edges in (U, V) order fills each
+	// in-list front to back.
+	fill := make([]int64, n)
+	copy(fill, g.inIdx[:n])
+	for u := 0; u < n; u++ {
+		for i := g.outIdx[u]; i < g.outIdx[u+1]; i++ {
+			j := fill[g.outAdj[i]]
+			fill[g.outAdj[i]]++
+			a.out.cross[i] = int32(j)
+			a.in.cross[j] = int32(i)
+		}
+	}
+	a.Reset(allActive)
+	return a
+}
+
+// Graph returns the underlying immutable graph.
+func (a *ActiveAdjacency) Graph() *Graph { return a.g }
+
+// Len returns the number of vertices of the underlying graph.
+func (a *ActiveAdjacency) Len() int { return a.g.n }
+
+// Active reports whether v is active.
+func (a *ActiveAdjacency) Active(v VID) bool { return a.active[v] }
+
+// NumActive returns the number of active vertices.
+func (a *ActiveAdjacency) NumActive() int { return a.count }
+
+// ActiveOut returns the active out-neighbors of v in unspecified order. The
+// slice aliases internal storage and is invalidated by the next
+// Activate/Deactivate/Reset; it must not be modified.
+func (a *ActiveAdjacency) ActiveOut(v VID) []VID {
+	s := a.g.outIdx[v]
+	return a.out.adj[s : s+int64(a.out.live[v])]
+}
+
+// ActiveIn returns the active in-neighbors of v under the same rules as
+// ActiveOut.
+func (a *ActiveAdjacency) ActiveIn(v VID) []VID {
+	s := a.g.inIdx[v]
+	return a.in.adj[s : s+int64(a.in.live[v])]
+}
+
+// ActiveOutDegree returns the number of active out-neighbors of v.
+func (a *ActiveAdjacency) ActiveOutDegree(v VID) int { return int(a.out.live[v]) }
+
+// ActiveInDegree returns the number of active in-neighbors of v.
+func (a *ActiveAdjacency) ActiveInDegree(v VID) int { return int(a.in.live[v]) }
+
+// Activate makes v active, moving it into the active prefix of each
+// neighbor's list in O(deg(v)). It reports whether the state changed.
+func (a *ActiveAdjacency) Activate(v VID) bool {
+	if a.active[v] {
+		return false
+	}
+	a.active[v] = true
+	a.count++
+	g := a.g
+	// v enters the active prefix of every in-neighbor's out-list...
+	for j := g.inIdx[v]; j < g.inIdx[v+1]; j++ {
+		u := g.inAdj[j]
+		i := a.in.cross[j] // out-slot of the edge (u, v)
+		a.out.swap(int64(a.out.pos[i]), g.outIdx[u]+int64(a.out.live[u]))
+		a.out.live[u]++
+	}
+	// ...and the active prefix of every out-neighbor's in-list.
+	for i := g.outIdx[v]; i < g.outIdx[v+1]; i++ {
+		w := g.outAdj[i]
+		j := a.out.cross[i] // in-slot of the edge (v, w)
+		a.in.swap(int64(a.in.pos[j]), g.inIdx[w]+int64(a.in.live[w]))
+		a.in.live[w]++
+	}
+	return true
+}
+
+// Deactivate makes v inactive, removing it from the active prefix of each
+// neighbor's list in O(deg(v)). It reports whether the state changed.
+func (a *ActiveAdjacency) Deactivate(v VID) bool {
+	if !a.active[v] {
+		return false
+	}
+	a.active[v] = false
+	a.count--
+	g := a.g
+	for j := g.inIdx[v]; j < g.inIdx[v+1]; j++ {
+		u := g.inAdj[j]
+		i := a.in.cross[j]
+		a.out.live[u]--
+		a.out.swap(int64(a.out.pos[i]), g.outIdx[u]+int64(a.out.live[u]))
+	}
+	for i := g.outIdx[v]; i < g.outIdx[v+1]; i++ {
+		w := g.outAdj[i]
+		j := a.out.cross[i]
+		a.in.live[w]--
+		a.in.swap(int64(a.in.pos[j]), g.inIdx[w]+int64(a.in.live[w]))
+	}
+	return true
+}
+
+// ResetCanonical is Reset restoring, in addition, the canonical (sorted)
+// adjacency permutation in O(n + m), still allocation-free. A plain Reset
+// leaves each segment in whatever order earlier swaps produced, which is
+// invisible to order-independent queries (existence, shortest walk — the
+// whole top-down family) but changes which cycle a DFS materializes first.
+// Callers whose results depend on iteration order (the bottom-up cover)
+// reset canonically so a pooled view behaves exactly like a fresh one.
+func (a *ActiveAdjacency) ResetCanonical(allActive bool) {
+	copy(a.out.adj, a.g.outAdj)
+	copy(a.in.adj, a.g.inAdj)
+	for i := range a.out.slot {
+		a.out.slot[i], a.out.pos[i] = int32(i), int32(i)
+		a.in.slot[i], a.in.pos[i] = int32(i), int32(i)
+	}
+	a.Reset(allActive)
+}
+
+// Reset sets every vertex to the given state in O(n), without touching the
+// per-edge arrays: an all-active prefix is the whole segment and an
+// all-inactive prefix is empty under ANY internal permutation, so only the
+// live counters and flags need rewriting. A pooled view is thereby reusable
+// across cover runs without reallocation. See ResetCanonical when iteration
+// order must match a freshly built view.
+func (a *ActiveAdjacency) Reset(allActive bool) {
+	if allActive {
+		g := a.g
+		for v := 0; v < g.n; v++ {
+			a.out.live[v] = int32(g.outIdx[v+1] - g.outIdx[v])
+			a.in.live[v] = int32(g.inIdx[v+1] - g.inIdx[v])
+			a.active[v] = true
+		}
+		a.count = g.n
+	} else {
+		clear(a.out.live)
+		clear(a.in.live)
+		clear(a.active)
+		a.count = 0
+	}
+}

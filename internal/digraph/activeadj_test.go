@@ -1,0 +1,169 @@
+package digraph
+
+import (
+	"math/rand/v2"
+	"slices"
+	"testing"
+)
+
+// refView is the trivially-correct reference: a bool set filtered against
+// the immutable adjacency.
+type refView struct {
+	g      *Graph
+	active []bool
+}
+
+func (r *refView) activeAdj(vs []VID) []VID {
+	out := []VID{}
+	for _, w := range vs {
+		if r.active[w] {
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+func sortedCopy(vs []VID) []VID {
+	c := slices.Clone(vs)
+	slices.Sort(c)
+	return c
+}
+
+// checkAgainstRef asserts that the view agrees with the reference on every
+// vertex: same active flags, and ActiveOut/ActiveIn equal as sets to the
+// filtered immutable adjacency.
+func checkAgainstRef(t *testing.T, a *ActiveAdjacency, ref *refView) {
+	t.Helper()
+	g := ref.g
+	count := 0
+	for v := 0; v < g.NumVertices(); v++ {
+		if ref.active[v] {
+			count++
+		}
+		if a.Active(VID(v)) != ref.active[v] {
+			t.Fatalf("Active(%d) = %v, want %v", v, a.Active(VID(v)), ref.active[v])
+		}
+		wantOut := sortedCopy(ref.activeAdj(g.Out(VID(v))))
+		gotOut := sortedCopy(a.ActiveOut(VID(v)))
+		if !slices.Equal(gotOut, wantOut) {
+			t.Fatalf("ActiveOut(%d) = %v, want %v", v, gotOut, wantOut)
+		}
+		wantIn := sortedCopy(ref.activeAdj(g.In(VID(v))))
+		gotIn := sortedCopy(a.ActiveIn(VID(v)))
+		if !slices.Equal(gotIn, wantIn) {
+			t.Fatalf("ActiveIn(%d) = %v, want %v", v, gotIn, wantIn)
+		}
+		if a.ActiveOutDegree(VID(v)) != len(wantOut) || a.ActiveInDegree(VID(v)) != len(wantIn) {
+			t.Fatalf("degrees of %d: out %d in %d, want %d %d",
+				v, a.ActiveOutDegree(VID(v)), a.ActiveInDegree(VID(v)), len(wantOut), len(wantIn))
+		}
+	}
+	if a.NumActive() != count {
+		t.Fatalf("NumActive = %d, want %d", a.NumActive(), count)
+	}
+}
+
+func TestActiveAdjacencyRandomized(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 13))
+	for trial := 0; trial < 20; trial++ {
+		n := 2 + rng.IntN(40)
+		g := randomGraph(rng, n, rng.IntN(6*n))
+		startFull := trial%2 == 0
+		a := NewActiveAdjacency(g, startFull)
+		ref := &refView{g: g, active: make([]bool, n)}
+		for i := range ref.active {
+			ref.active[i] = startFull
+		}
+		checkAgainstRef(t, a, ref)
+		for step := 0; step < 120; step++ {
+			v := VID(rng.IntN(n))
+			if rng.IntN(2) == 0 {
+				changed := a.Activate(v)
+				if changed == ref.active[v] {
+					t.Fatalf("Activate(%d) changed=%v with ref active=%v", v, changed, ref.active[v])
+				}
+				ref.active[v] = true
+			} else {
+				changed := a.Deactivate(v)
+				if changed != ref.active[v] {
+					t.Fatalf("Deactivate(%d) changed=%v with ref active=%v", v, changed, ref.active[v])
+				}
+				ref.active[v] = false
+			}
+			checkAgainstRef(t, a, ref)
+		}
+	}
+}
+
+func TestActiveAdjacencyReset(t *testing.T) {
+	rng := rand.New(rand.NewPCG(3, 9))
+	g := randomGraph(rng, 30, 150)
+	a := NewActiveAdjacency(g, false)
+	ref := &refView{g: g, active: make([]bool, 30)}
+	// Scramble the internal permutation, then reset both ways.
+	for i := 0; i < 60; i++ {
+		v := VID(rng.IntN(30))
+		if rng.IntN(2) == 0 {
+			a.Activate(v)
+			ref.active[v] = true
+		} else {
+			a.Deactivate(v)
+			ref.active[v] = false
+		}
+	}
+	a.Reset(true)
+	for i := range ref.active {
+		ref.active[i] = true
+	}
+	checkAgainstRef(t, a, ref)
+	a.Reset(false)
+	for i := range ref.active {
+		ref.active[i] = false
+	}
+	checkAgainstRef(t, a, ref)
+	// The view must remain fully functional after resets.
+	for i := 0; i < 60; i++ {
+		v := VID(rng.IntN(30))
+		a.Activate(v)
+		ref.active[v] = true
+	}
+	checkAgainstRef(t, a, ref)
+	// A canonical reset must behave exactly like a freshly built view:
+	// identical slices (including order), not just identical sets.
+	a.ResetCanonical(true)
+	fresh := NewActiveAdjacency(g, true)
+	for v := 0; v < g.NumVertices(); v++ {
+		if !slices.Equal(a.ActiveOut(VID(v)), fresh.ActiveOut(VID(v))) ||
+			!slices.Equal(a.ActiveIn(VID(v)), fresh.ActiveIn(VID(v))) {
+			t.Fatalf("ResetCanonical: vertex %d differs from a fresh view", v)
+		}
+	}
+}
+
+func TestActiveAdjacencySelfLoops(t *testing.T) {
+	b := NewBuilder(3)
+	b.KeepSelfLoops = true
+	b.AddEdge(0, 0)
+	b.AddEdge(0, 1)
+	b.AddEdge(1, 2)
+	b.AddEdge(2, 0)
+	g := b.Build()
+	a := NewActiveAdjacency(g, false)
+	ref := &refView{g: g, active: make([]bool, 3)}
+	for _, v := range []VID{0, 1, 2, 0, 1} { // re-activation is a no-op
+		a.Activate(v)
+		ref.active[v] = true
+		checkAgainstRef(t, a, ref)
+	}
+	a.Deactivate(0)
+	ref.active[0] = false
+	checkAgainstRef(t, a, ref)
+}
+
+func TestActiveAdjacencyEmptyGraph(t *testing.T) {
+	g := NewBuilder(0).Build()
+	a := NewActiveAdjacency(g, true)
+	if a.NumActive() != 0 || a.Len() != 0 {
+		t.Fatalf("empty graph view: NumActive=%d Len=%d", a.NumActive(), a.Len())
+	}
+}

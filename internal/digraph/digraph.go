@@ -9,13 +9,17 @@
 // duplicates merged) and then freezes the edge set.
 //
 // Algorithms that need a mutating view (the bottom-up cover removes a chosen
-// vertex's edges; the top-down cover grows an initially empty graph) use a
-// VertexMask layered over the immutable Graph instead of physically editing
-// adjacency lists: deactivating a vertex hides all of its incident edges.
+// vertex's edges; the top-down cover grows an initially empty graph) layer a
+// working-graph representation over the immutable Graph instead of
+// physically editing adjacency lists: either a VertexMask (O(1) toggles,
+// traversals filter the full degree) or an ActiveAdjacency view (O(deg)
+// toggles, traversals touch exactly the live edges) — see DESIGN.md §7 for
+// the trade-off.
 package digraph
 
 import (
 	"fmt"
+	"slices"
 	"sort"
 )
 
@@ -121,7 +125,15 @@ func (g *Graph) Transpose() *Graph {
 
 // InducedSubgraph builds a new graph containing only the vertices for which
 // keep[v] is true, re-labelling them densely while preserving relative order.
-// It returns the subgraph and the mapping newID -> oldID.
+// It returns the subgraph and the mapping newID -> oldID. Self-loops are
+// dropped, matching the default Builder policy.
+//
+// The sub-CSR is constructed directly with counting passes instead of
+// re-feeding edges through a Builder: the source adjacency is already
+// sorted and duplicate-free, and the dense relabelling is monotone, so the
+// kept edges are already in CSR order — no re-sort, no dedup. This is on
+// the per-SCC path of the parallel solver, which carves one subgraph per
+// component.
 //
 // It panics if len(keep) != NumVertices.
 func (g *Graph) InducedSubgraph(keep []bool) (*Graph, []VID) {
@@ -138,15 +150,46 @@ func (g *Graph) InducedSubgraph(keep []bool) (*Graph, []VID) {
 			newID[v] = -1
 		}
 	}
-	b := NewBuilder(len(oldID))
-	for _, u := range oldID {
-		for _, w := range g.Out(u) {
-			if keep[w] {
-				b.AddEdge(VID(newID[u]), VID(newID[w]))
+	n2 := len(oldID)
+	sub := &Graph{
+		n:      n2,
+		outIdx: make([]int64, n2+1),
+		inIdx:  make([]int64, n2+1),
+	}
+	// Pass 1: count kept out- and in-edges per new vertex.
+	for newU, old := range oldID {
+		for _, w := range g.Out(old) {
+			if keep[w] && w != old {
+				sub.outIdx[newU+1]++
+				sub.inIdx[newID[w]+1]++
 			}
 		}
 	}
-	return b.Build(), oldID
+	for v := 0; v < n2; v++ {
+		sub.outIdx[v+1] += sub.outIdx[v]
+		sub.inIdx[v+1] += sub.inIdx[v]
+	}
+	m2 := sub.outIdx[n2]
+	sub.outAdj = make([]VID, m2)
+	sub.inAdj = make([]VID, m2)
+	// Pass 2: fill. Scanning kept edges in old (U, V) order emits them in
+	// new (U, V) order (the relabelling is monotone), so out-lists fill
+	// sequentially sorted and in-lists come out sorted by U as in Build.
+	fill := make([]int64, n2)
+	copy(fill, sub.inIdx[:n2])
+	p := int64(0)
+	for _, old := range oldID {
+		for _, w := range g.Out(old) {
+			if keep[w] && w != old {
+				nw := newID[w]
+				sub.outAdj[p] = VID(nw)
+				p++
+				sub.inAdj[fill[nw]] = VID(newID[old])
+				fill[nw]++
+			}
+		}
+	}
+	return sub, oldID
 }
 
 // Builder accumulates edges and produces an immutable Graph.
@@ -210,59 +253,66 @@ func (b *Builder) NumPendingEdges() int {
 
 // Build freezes the accumulated edges into an immutable Graph, merging
 // duplicates. The Builder must not be reused afterwards.
+//
+// Each edge is packed into one uint64 key (U in the high half, V in the
+// low half) so that sorting and deduplication run over a flat integer
+// slice — slices.Sort's specialized pdqsort, no reflection-based
+// comparator — which dominates construction time on large edge lists.
 func (b *Builder) Build() *Graph {
 	if b.built {
 		panic("digraph: Builder.Build called twice")
 	}
 	b.built = true
 
-	sort.Slice(b.edges, func(i, j int) bool {
-		if b.edges[i].U != b.edges[j].U {
-			return b.edges[i].U < b.edges[j].U
-		}
-		return b.edges[i].V < b.edges[j].V
-	})
-	// Merge duplicates in place.
-	dedup := b.edges[:0]
+	keys := make([]uint64, len(b.edges))
 	for i, e := range b.edges {
-		if i > 0 && e == b.edges[i-1] {
+		keys[i] = uint64(e.U)<<32 | uint64(e.V)
+	}
+	b.edges = nil
+	slices.Sort(keys)
+	// Merge duplicates in place; uint64 order equals (U, V) lexicographic
+	// order.
+	m := 0
+	for i, k := range keys {
+		if i > 0 && k == keys[i-1] {
 			continue
 		}
-		dedup = append(dedup, e)
+		keys[m] = k
+		m++
 	}
+	keys = keys[:m]
 
 	g := &Graph{
 		n:      b.n,
 		outIdx: make([]int64, b.n+1),
-		outAdj: make([]VID, len(dedup)),
+		outAdj: make([]VID, m),
 		inIdx:  make([]int64, b.n+1),
-		inAdj:  make([]VID, len(dedup)),
+		inAdj:  make([]VID, m),
 	}
-	// Out-CSR: edges are already sorted by (U, V).
-	for _, e := range dedup {
-		g.outIdx[e.U+1]++
+	// Out-CSR: keys are already sorted by (U, V).
+	for _, k := range keys {
+		g.outIdx[k>>32+1]++
 	}
 	for v := 0; v < b.n; v++ {
 		g.outIdx[v+1] += g.outIdx[v]
 	}
-	for i, e := range dedup {
-		g.outAdj[i] = e.V
+	for i, k := range keys {
+		g.outAdj[i] = VID(k)
 	}
 	// In-CSR via counting sort on V; per-vertex in-lists come out sorted by U
 	// because we scan edges in (U, V) order.
-	for _, e := range dedup {
-		g.inIdx[e.V+1]++
+	for _, k := range keys {
+		g.inIdx[VID(k)+1]++
 	}
 	for v := 0; v < b.n; v++ {
 		g.inIdx[v+1] += g.inIdx[v]
 	}
 	fill := make([]int64, b.n)
 	copy(fill, g.inIdx[:b.n])
-	for _, e := range dedup {
-		g.inAdj[fill[e.V]] = e.U
-		fill[e.V]++
+	for _, k := range keys {
+		g.inAdj[fill[VID(k)]] = VID(k >> 32)
+		fill[VID(k)]++
 	}
-	b.edges = nil
 	return g
 }
 

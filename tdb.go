@@ -122,7 +122,10 @@ type Options struct {
 	// run; a done context stops the computation and marks the result
 	// TimedOut.
 	Context context.Context
-	// Cancelled, polled between steps, stops the run early when true.
+	// Cancelled, polled between steps, stops the run early when true. With
+	// PrepassWorkers != 0 (or under CoverParallel) it is polled
+	// concurrently from worker goroutines and must be safe for concurrent
+	// use.
 	//
 	// Deprecated: set Context instead (e.g. via context.WithTimeout).
 	// Cancelled is still honored.
@@ -164,11 +167,11 @@ func CoverWith(g *Graph, algo Algorithm, k int, opts *Options) (*Result, error) 
 }
 
 // Engine computes repeated covers over one fixed graph while pooling all
-// O(n) working state (detector tables, filter queues, masks) across runs —
-// the entry point for serving heavy repeated traffic. One-shot Cover calls
-// allocate that state afresh on every run; an Engine brings steady-state
-// allocations down to the returned result. Engines are safe for concurrent
-// use.
+// working state (detector tables, filter queues, the active-adjacency
+// working graph) across runs — the entry point for serving heavy repeated
+// traffic. One-shot Cover calls allocate that state afresh on every run; an
+// Engine brings steady-state allocations down to the returned result.
+// Engines are safe for concurrent use.
 type Engine struct {
 	e *core.Engine
 }
