@@ -3,11 +3,14 @@
 // Usage:
 //
 //	tdb -graph g.txt -k 5 [-algo TDB++] [-minlen 3] [-order natural]
-//	    [-scc] [-prepass N] [-timeout 60s] [-out cover.txt] [-verify]
+//	    [-scc] [-strategy auto] [-workers 0] [-prepass N] [-timeout 60s]
+//	    [-edges] [-out cover.txt] [-verify]
 //
 // The graph file is a SNAP-style text edge list ("u v" per line, '#'
 // comments) or the binary format for ".bin" paths. The cover is written one
-// vertex ID per line.
+// vertex ID per line ("u v" edges per line with -edges). By default the
+// solver plans its own execution strategy from the graph's SCC structure
+// and the worker budget; -strategy pins it.
 package main
 
 import (
@@ -19,9 +22,7 @@ import (
 	"os"
 	"time"
 
-	"tdb/internal/core"
-	"tdb/internal/digraph"
-	"tdb/internal/verify"
+	"tdb"
 )
 
 func main() {
@@ -41,8 +42,11 @@ func run(args []string, out io.Writer) error {
 		orderName = fs.String("order", "natural", "candidate order: natural, degree-asc, degree-desc, random")
 		seed      = fs.Uint64("seed", 0, "seed for -order random")
 		sccPre    = fs.Bool("scc", false, "enable the SCC prefilter")
-		prepass   = fs.Int("prepass", 0, "parallel BFS-filter prepass workers for TDB++ (0 = off, -1 = all cores)")
+		stratName = fs.String("strategy", "auto", "execution strategy: auto, sequential, scc-parallel, prepass")
+		workers   = fs.Int("workers", 0, "worker budget for strategy selection (0 = all cores)")
+		prepass   = fs.Int("prepass", 0, "pin the TDB++ BFS-filter prepass to this many workers (0 = let -strategy decide, -1 = all cores)")
 		timeout   = fs.Duration("timeout", 0, "abort after this duration (0 = unlimited)")
+		edgeMode  = fs.Bool("edges", false, "compute the EDGE transversal instead of the vertex cover")
 		outPath   = fs.String("out", "", "write the cover here (default stdout)")
 		doVerify  = fs.Bool("verify", false, "verify validity and minimality of the result")
 	)
@@ -53,51 +57,79 @@ func run(args []string, out io.Writer) error {
 		fs.Usage()
 		return fmt.Errorf("-graph is required")
 	}
-	algo, err := core.ParseAlgorithm(*algoName)
+	algo, err := tdb.ParseAlgorithm(*algoName)
 	if err != nil {
 		return err
 	}
-	order, err := parseOrder(*orderName)
+	order, err := tdb.ParseOrder(*orderName)
+	if err != nil {
+		return err
+	}
+	if order == tdb.OrderWeighted {
+		// The library order exists, but the CLI has no weights input.
+		return fmt.Errorf("-order weighted needs a per-vertex weights input, which this tool does not take (want natural, degree-asc, degree-desc or random)")
+	}
+	strategy, err := tdb.ParseStrategy(*stratName)
 	if err != nil {
 		return err
 	}
 
-	g, err := digraph.LoadFile(*graphPath)
+	g, err := tdb.LoadGraph(*graphPath)
 	if err != nil {
 		return fmt.Errorf("loading graph: %w", err)
 	}
 	fmt.Fprintf(os.Stderr, "loaded %v\n", g)
 
-	opts := core.Options{K: *k, MinLen: *minLen, Order: order, Seed: *seed, SCCPrefilter: *sccPre, PrepassWorkers: *prepass}
 	ctx := context.Background()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	opts.Context = ctx
-	res, err := core.Compute(g, algo, opts)
+	opts := []tdb.Option{
+		tdb.WithAlgorithm(algo),
+		tdb.WithMinLen(*minLen),
+		tdb.WithOrder(order),
+		tdb.WithSeed(*seed),
+		tdb.WithStrategy(strategy),
+		tdb.WithWorkers(*workers),
+	}
+	if *sccPre {
+		opts = append(opts, tdb.WithSCCPrefilter())
+	}
+	if *prepass != 0 {
+		opts = append(opts, tdb.WithPrepassWorkers(*prepass))
+	}
+	if *edgeMode {
+		opts = append(opts, tdb.WithEdgeCover())
+	}
+	res, err := tdb.Solve(ctx, g, *k, opts...)
 	if err != nil {
 		return err
 	}
 	st := res.Stats
-	fmt.Fprintf(os.Stderr, "%s k=%d minlen=%d: cover=%d vertices in %v (checked=%d, filter-pruned=%d, scc-skipped=%d)\n",
-		st.Algorithm, st.K, st.MinLen, st.CoverSize, st.Duration.Round(time.Millisecond),
+	fmt.Fprintf(os.Stderr, "%s k=%d minlen=%d [%s, %d workers]: cover=%d in %v (checked=%d, filter-pruned=%d, scc-skipped=%d)\n",
+		st.Algorithm, st.K, st.MinLen, st.Strategy, st.Workers,
+		st.CoverSize, st.Duration.Round(time.Millisecond),
 		st.Checked, st.FilterPruned, st.SCCSkipped)
 	if st.TimedOut {
 		return fmt.Errorf("timed out after %v; partial cover not written", *timeout)
 	}
 
 	if *doVerify {
-		wantMinimal := algo != core.BUR && algo != core.DARCDV
-		rep := verify.Check(g, *k, *minLen, res.Cover, wantMinimal)
-		switch {
-		case !rep.Valid:
-			return fmt.Errorf("verification FAILED: surviving cycle %v", rep.Witness)
-		case wantMinimal && !rep.Minimal:
-			return fmt.Errorf("verification FAILED: redundant vertices %v", rep.Redundant)
-		default:
-			fmt.Fprintln(os.Stderr, "verification passed")
+		if *edgeMode {
+			fmt.Fprintln(os.Stderr, "note: -verify checks vertex covers; skipping for -edges")
+		} else {
+			wantMinimal := algo != tdb.BUR && algo != tdb.DARCDV
+			rep := tdb.Verify(g, *k, *minLen, res.Cover, wantMinimal)
+			switch {
+			case !rep.Valid:
+				return fmt.Errorf("verification FAILED: surviving cycle %v", rep.Witness)
+			case wantMinimal && !rep.Minimal:
+				return fmt.Errorf("verification FAILED: redundant vertices %v", rep.Redundant)
+			default:
+				fmt.Fprintln(os.Stderr, "verification passed")
+			}
 		}
 	}
 
@@ -110,22 +142,14 @@ func run(args []string, out io.Writer) error {
 		defer f.Close()
 		w = bufio.NewWriter(f)
 	}
-	for _, v := range res.Cover {
-		fmt.Fprintln(w, v)
+	if *edgeMode {
+		for _, e := range res.Edges {
+			fmt.Fprintln(w, e.U, e.V)
+		}
+	} else {
+		for _, v := range res.Cover {
+			fmt.Fprintln(w, v)
+		}
 	}
 	return w.Flush()
-}
-
-func parseOrder(s string) (core.Order, error) {
-	switch s {
-	case "natural":
-		return core.OrderNatural, nil
-	case "degree-asc":
-		return core.OrderDegreeAsc, nil
-	case "degree-desc":
-		return core.OrderDegreeDesc, nil
-	case "random":
-		return core.OrderRandom, nil
-	}
-	return 0, fmt.Errorf("unknown order %q", s)
 }

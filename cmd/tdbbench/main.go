@@ -71,18 +71,15 @@ func run(args []string) error {
 	cfg.Timeout = *timeout
 	cfg.Verify = *doVerify
 	cfg.Out = os.Stdout
-	switch *orderName {
-	case "natural":
-		cfg.Order = core.OrderNatural
-	case "degree-asc":
-		cfg.Order = core.OrderDegreeAsc
-	case "degree-desc":
-		cfg.Order = core.OrderDegreeDesc
-	case "random":
-		cfg.Order = core.OrderRandom
-	default:
-		return fmt.Errorf("unknown order %q", *orderName)
+	order, err := core.ParseOrder(*orderName)
+	if err != nil {
+		return err
 	}
+	if order == core.OrderWeighted {
+		// The experiments have no cost input; fail before any generation.
+		return fmt.Errorf("-order weighted is not supported by the experiment harness (want natural, degree-asc, degree-desc or random)")
+	}
+	cfg.Order = order
 
 	start := time.Now()
 	if _, err := exp.Run(*expID, cfg); err != nil {

@@ -16,8 +16,7 @@ import (
 	"fmt"
 	"os"
 
-	"tdb/internal/digraph"
-	"tdb/internal/gen"
+	"tdb"
 )
 
 func main() {
@@ -51,7 +50,7 @@ func run(args []string) error {
 	}
 	if *list {
 		fmt.Printf("%-6s %-14s %12s %14s %7s\n", "name", "original", "|V|", "|E|", "davg")
-		for _, d := range gen.Datasets() {
+		for _, d := range tdb.Datasets() {
 			large := ""
 			if d.Large {
 				large = " (large)"
@@ -66,20 +65,20 @@ func run(args []string) error {
 		return fmt.Errorf("-o is required")
 	}
 
-	var g *digraph.Graph
+	var g *tdb.Graph
 	switch *model {
 	case "er":
-		g = gen.ErdosRenyi(*n, *m, *seed)
+		g = tdb.GenErdosRenyi(*n, *m, *seed)
 	case "powerlaw":
-		g = gen.PowerLaw(*n, *m, *skew, *recip, *seed)
+		g = tdb.GenPowerLaw(*n, *m, *skew, *recip, *seed)
 	case "smallworld":
-		g = gen.SmallWorld(*n, *fwd, *chord, *seed)
+		g = tdb.GenSmallWorld(*n, *fwd, *chord, *seed)
 	case "planted":
-		p := gen.PlantedCycles(*n, *cycles, *minLenF, *maxLen, *m, *seed)
+		p := tdb.GenPlantedCycles(*n, *cycles, *minLenF, *maxLen, *m, *seed)
 		g = p.Graph
 		fmt.Fprintf(os.Stderr, "planted %d vertex-disjoint cycles\n", len(p.Cycles))
 	case "dataset":
-		d, ok := gen.DatasetByName(*dataset)
+		d, ok := tdb.DatasetByName(*dataset)
 		if !ok {
 			return fmt.Errorf("unknown dataset %q (use -list)", *dataset)
 		}
@@ -88,7 +87,7 @@ func run(args []string) error {
 		return fmt.Errorf("unknown model %q", *model)
 	}
 
-	if err := digraph.SaveFile(*outPath, g); err != nil {
+	if err := tdb.SaveGraph(*outPath, g); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %v to %s\n", g, *outPath)

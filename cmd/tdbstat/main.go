@@ -12,7 +12,7 @@ import (
 	"fmt"
 	"os"
 
-	"tdb/internal/digraph"
+	"tdb"
 	"tdb/internal/graphstat"
 )
 
@@ -37,7 +37,7 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("-graph is required")
 	}
-	g, err := digraph.LoadFile(*graphPath)
+	g, err := tdb.LoadGraph(*graphPath)
 	if err != nil {
 		return err
 	}

@@ -18,7 +18,7 @@ import (
 	"strconv"
 	"strings"
 
-	"tdb/internal/digraph"
+	"tdb"
 	"tdb/internal/verify"
 )
 
@@ -46,7 +46,7 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("-graph and -cover are required")
 	}
-	g, err := digraph.LoadFile(*graphPath)
+	g, err := tdb.LoadGraph(*graphPath)
 	if err != nil {
 		return fmt.Errorf("loading graph: %w", err)
 	}
@@ -72,13 +72,13 @@ func run(args []string) error {
 	return nil
 }
 
-func readCover(path string, n int) ([]digraph.VID, error) {
+func readCover(path string, n int) ([]tdb.VID, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	var cover []digraph.VID
+	var cover []tdb.VID
 	sc := bufio.NewScanner(f)
 	line := 0
 	for sc.Scan() {
@@ -94,7 +94,7 @@ func readCover(path string, n int) ([]digraph.VID, error) {
 		if int(x) >= n {
 			return nil, fmt.Errorf("line %d: vertex %d out of range (n=%d)", line, x, n)
 		}
-		cover = append(cover, digraph.VID(x))
+		cover = append(cover, tdb.VID(x))
 	}
 	return cover, sc.Err()
 }

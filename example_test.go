@@ -1,10 +1,60 @@
 package tdb_test
 
 import (
+	"context"
 	"fmt"
 
 	"tdb"
 )
+
+// The smallest possible workflow on the unified surface: break every short
+// cycle of a triangle.
+func ExampleSolve() {
+	g := tdb.FromEdges(3, []tdb.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}})
+	res, err := tdb.Solve(context.Background(), g, 5)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("cover size:", len(res.Cover))
+	rep := tdb.Verify(g, 5, 3, res.Cover, true)
+	fmt.Println("valid:", rep.Valid, "minimal:", rep.Minimal)
+	// Output:
+	// cover size: 1
+	// valid: true minimal: true
+}
+
+// Options select the algorithm and variant; here the bottom-up algorithm
+// (smallest covers) on two triangles sharing vertex 0.
+func ExampleSolve_options() {
+	g := tdb.FromEdges(5, []tdb.Edge{
+		{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0},
+		{U: 0, V: 3}, {U: 3, V: 4}, {U: 4, V: 0},
+	})
+	res, err := tdb.Solve(context.Background(), g, 5, tdb.WithAlgorithm(tdb.BURPlus))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Cover)
+	// Output:
+	// [0]
+}
+
+// Real-world IDs: the labeled layer interns external identities and
+// translates the cover back.
+func ExampleLabeledGraph() {
+	b := tdb.NewLabeledBuilder[string]()
+	b.AddEdge("alice", "bob")
+	b.AddEdge("bob", "carol")
+	b.AddEdge("carol", "alice")
+	lg := b.Build()
+	res, err := lg.Solve(context.Background(), 5, tdb.WithAlgorithm(tdb.BURPlus))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println(res.Cover)
+	// Output:
+	// [alice]
+}
 
 // The smallest possible workflow: break every short cycle of a triangle.
 func ExampleCover() {

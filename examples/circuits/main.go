@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,16 +29,17 @@ func main() {
 	// plus occasional feedback wires that close loops.
 	g := tdb.GenSmallWorld(gates, 3, 0.35, 99)
 	fmt.Printf("netlist: %v\n", g)
+	ctx := context.Background()
 
-	res, err := tdb.Cover(g, maxHops, &tdb.Options{Order: tdb.OrderDegreeAsc})
+	res, err := tdb.Solve(ctx, g, maxHops, tdb.WithOrder(tdb.OrderDegreeAsc))
 	if err != nil {
 		log.Fatal(err)
 	}
 	fmt.Printf("registers needed: %d (%.2f%% of gates)\n",
 		len(res.Cover), 100*float64(len(res.Cover))/float64(gates))
 	st := res.Stats
-	fmt.Printf("stats: %d candidates checked, %d resolved by the BFS filter, %v total\n",
-		st.Checked, st.FilterPruned, st.Duration.Round(1e6))
+	fmt.Printf("stats: %d candidates checked, %d resolved by the BFS filter, %v total [strategy: %s]\n",
+		st.Checked, st.FilterPruned, st.Duration.Round(1e6), st.Strategy)
 
 	rep := tdb.Verify(g, maxHops, 3, res.Cover, true)
 	if !rep.Valid || !rep.Minimal {
@@ -47,7 +49,8 @@ func main() {
 
 	// Compare against covering ALL feedback loops (classic feedback vertex
 	// set): the hop bound is what keeps the register count low.
-	resAll, err := tdb.CoverAllCycles(g, &tdb.Options{Order: tdb.OrderDegreeAsc})
+	resAll, err := tdb.Solve(ctx, g, 0,
+		tdb.WithUnconstrained(), tdb.WithOrder(tdb.OrderDegreeAsc))
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -6,12 +6,14 @@
 // likely to fire in practice. The cycle cover names a minimal set of locks
 // whose acquisition discipline must be refactored (e.g. replaced by a
 // single coarse lock or given a global rank) to eliminate every short
-// deadlock pattern.
+// deadlock pattern. Locks are addressed by name throughout — the labeled
+// layer owns the name <-> vertex mapping.
 //
 //	go run ./examples/deadlock
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
@@ -27,61 +29,69 @@ func main() {
 	)
 	// Simulate threads taking small nested lock sequences. A thread that
 	// acquires the sequence l0, l1, l2 contributes edges l0->l1->l2.
+	lockName := func(i int) string { return fmt.Sprintf("lock-%03d", i) }
 	rng := rand.New(rand.NewPCG(7, 7))
-	b := tdb.NewBuilder(locks)
+	b := tdb.NewLabeledBuilder[string]()
+	for i := 0; i < locks; i++ {
+		b.Intern(lockName(i)) // register even never-contended locks
+	}
 	for t := 0; t < threads; t++ {
 		depth := 2 + rng.IntN(3)
-		prev := tdb.VID(rng.IntN(locks))
+		prev := rng.IntN(locks)
 		for i := 1; i < depth; i++ {
 			// Threads mostly follow a partial order (lower ID first) but a
 			// bug-prone minority acquires against it, creating cycles.
-			next := tdb.VID(rng.IntN(locks))
+			next := rng.IntN(locks)
 			if rng.Float64() < 0.85 && next < prev {
 				prev, next = next, prev
 			}
 			if next != prev {
-				b.AddEdge(prev, next)
+				b.AddEdge(lockName(prev), lockName(next))
 				prev = next
 			}
 		}
 	}
 	g := b.Build()
-	fmt.Printf("lock-order graph: %v\n", g)
+	fmt.Printf("lock-order graph: %v\n", g.Graph())
 
-	if !tdb.HasHopConstrainedCycle(g, maxHops) {
+	if !tdb.HasHopConstrainedCycle(g.Graph(), maxHops) {
 		fmt.Println("no short deadlock potentials — nothing to do")
 		return
 	}
 
-	res, err := tdb.Cover(g, maxHops, &tdb.Options{Order: tdb.OrderDegreeAsc})
+	res, err := g.Solve(context.Background(), maxHops, tdb.WithOrder(tdb.OrderDegreeAsc))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("locks to refactor: %d of %d\n", len(res.Cover), locks)
+	fmt.Printf("locks to refactor: %d of %d [strategy: %s]\n",
+		len(res.Cover), locks, res.Stats.Strategy)
 
 	// Count the deadlock patterns each refactored lock participates in, to
 	// prioritize the work.
-	counts := make(map[tdb.VID]int)
-	inCover := res.CoverSet(locks)
-	tdb.EnumerateCycles(g, maxHops, func(c []tdb.VID) bool {
-		for _, v := range c {
-			if inCover[v] {
-				counts[v]++
+	counts := make(map[string]int)
+	inCover := make(map[string]bool, len(res.Cover))
+	for _, name := range res.Cover {
+		inCover[name] = true
+	}
+	g.EnumerateCycles(maxHops, func(c []string) bool {
+		for _, name := range c {
+			if inCover[name] {
+				counts[name]++
 			}
 		}
 		return true
 	})
-	top, topCount := tdb.VID(0), -1
+	top, topCount := "", -1
 	total := 0
-	for v, n := range counts {
+	for name, n := range counts {
 		total += n
 		if n > topCount {
-			top, topCount = v, n
+			top, topCount = name, n
 		}
 	}
-	fmt.Printf("deadlock patterns hit (with multiplicity): %d; busiest lock L%d appears in %d\n",
+	fmt.Printf("deadlock patterns hit (with multiplicity): %d; busiest lock %s appears in %d\n",
 		total, top, topCount)
 
-	rep := tdb.Verify(g, maxHops, 3, res.Cover, true)
+	rep := tdb.Verify(g.Graph(), maxHops, 3, res.Raw.Cover, true)
 	fmt.Printf("verified: valid=%v minimal=%v\n", rep.Valid, rep.Minimal)
 }

@@ -5,12 +5,14 @@
 // traffic. The cycle cover then names a small set of accounts that
 // intersects EVERY possible short transfer ring — the accounts a fraud team
 // should audit first. The example checks that each implanted ring is hit
-// and reports how concentrated the audit set is.
+// and reports how concentrated the audit set is, along with the execution
+// strategy the solver planned for the workload.
 //
 //	go run ./examples/fraudring
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"time"
@@ -31,13 +33,14 @@ func main() {
 	g := p.Graph
 
 	start := time.Now()
-	res, err := tdb.Cover(g, maxHops, &tdb.Options{Order: tdb.OrderDegreeAsc})
+	res, err := tdb.Solve(context.Background(), g, maxHops,
+		tdb.WithOrder(tdb.OrderDegreeAsc))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("TDB++ selected %d accounts to audit (%.1f%% of all) in %v\n",
+	fmt.Printf("TDB++ selected %d accounts to audit (%.1f%% of all) in %v [strategy: %s, %d workers]\n",
 		len(res.Cover), 100*float64(len(res.Cover))/float64(accounts),
-		time.Since(start).Round(time.Millisecond))
+		time.Since(start).Round(time.Millisecond), res.Stats.Strategy, res.Stats.Workers)
 
 	// Every implanted ring must contain an audited account.
 	audited := res.CoverSet(g.NumVertices())

@@ -1,12 +1,15 @@
-// Quickstart: build a small directed graph, compute a hop-constrained cycle
-// cover with TDB++, and verify it.
+// Quickstart: build a small directed graph addressed by real-world IDs,
+// compute a hop-constrained cycle cover with the unified Solve entry point,
+// and verify it.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"strings"
 
 	"tdb"
 )
@@ -14,42 +17,37 @@ import (
 func main() {
 	// The paper's Figure 1 e-commerce network: accounts a..h, edges are
 	// money transfers. Three cycles of length <= 5 run through account a.
-	names := []string{"a", "b", "c", "d", "e", "f", "g", "h"}
-	b := tdb.NewBuilder(len(names))
-	edges := [][2]tdb.VID{
-		{0, 1}, {1, 2}, {2, 0}, // a->b->c->a
-		{0, 2}, {2, 3}, {3, 4}, {4, 0}, // a->c->d->e->a
-		{0, 5}, {5, 6}, {6, 7}, {7, 4}, // a->f->g->h->e->a
-		{7, 3}, {1, 5}, // acyclic extras
-	}
-	for _, e := range edges {
-		b.AddEdge(e[0], e[1])
+	// The labeled builder interns the account names directly — no manual
+	// ID bookkeeping.
+	b := tdb.NewLabeledBuilder[string]()
+	for _, t := range []string{
+		"a>b", "b>c", "c>a", // a->b->c->a
+		"a>c", "c>d", "d>e", "e>a", // a->c->d->e->a
+		"a>f", "f>g", "g>h", "h>e", // a->f->g->h->e->a
+		"h>d", "b>f", // acyclic extras
+	} {
+		from, to, _ := strings.Cut(t, ">")
+		b.AddEdge(from, to)
 	}
 	g := b.Build()
-	fmt.Printf("graph: %v\n", g)
+	fmt.Printf("graph: %v\n", g.Graph())
 
-	// Break every cycle with at most 5 hops. BUR+ optimizes cover size.
-	res, err := tdb.CoverWith(g, tdb.BURPlus, 5, nil)
+	// Break every cycle with at most 5 hops. BUR+ optimizes cover size;
+	// the solver plans its own execution strategy and records it.
+	res, err := g.Solve(context.Background(), 5, tdb.WithAlgorithm(tdb.BURPlus))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("cover (%d vertices):", len(res.Cover))
-	for _, v := range res.Cover {
-		fmt.Printf(" %s", names[v])
-	}
-	fmt.Println()
+	fmt.Printf("cover (%d accounts): %s\n", len(res.Cover), strings.Join(res.Cover, " "))
+	fmt.Printf("plan: %s algorithm, %s strategy\n", res.Stats.Algorithm, res.Stats.Strategy)
 
 	// Independently verify: no cycle of length 3..5 survives, and no cover
 	// vertex is redundant.
-	rep := tdb.Verify(g, 5, 3, res.Cover, true)
+	rep := tdb.Verify(g.Graph(), 5, 3, res.Raw.Cover, true)
 	fmt.Printf("valid=%v minimal=%v\n", rep.Valid, rep.Minimal)
 
-	// Show one of the cycles the cover intersects.
-	if c := tdb.FindCycle(g, 5, 0); c != nil {
-		fmt.Print("example cycle through a:")
-		for _, v := range c {
-			fmt.Printf(" %s", names[v])
-		}
-		fmt.Println()
+	// Show one of the cycles the cover intersects, by account name.
+	if c := g.FindCycle(5, "a"); c != nil {
+		fmt.Printf("example cycle through a: %s\n", strings.Join(c, " "))
 	}
 }

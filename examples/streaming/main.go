@@ -1,19 +1,22 @@
-// Streaming fraud monitoring: dynamic cover maintenance.
+// Streaming fraud monitoring: dynamic cover maintenance over real-world
+// account IDs.
 //
 // The paper's fraud-detection motivation is inherently dynamic — new
 // transfers arrive continuously (its reference [14] detects constrained
 // cycles on dynamic e-commerce graphs in real time). This example seeds a
 // cover on a historical snapshot, then processes a live stream of
-// transfers: each insertion either lands on an already-audited account or
-// triggers one bounded cycle search, keeping the audit set valid at every
-// instant without ever recomputing from scratch. After a burst of account
-// closures (edge deletions), one Reminimize pass sheds the audit entries
-// the closures made redundant.
+// transfers addressed by account ID strings: each insertion either lands
+// on an already-audited account or triggers one bounded cycle search,
+// keeping the audit set valid at every instant without ever recomputing
+// from scratch. Accounts first seen mid-stream are interned on the fly.
+// After a burst of account closures (edge deletions), one Reminimize pass
+// sheds the audit entries the closures made redundant.
 //
 //	go run ./examples/streaming
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand/v2"
@@ -29,46 +32,67 @@ func main() {
 		stream   = 50_000  // live transfers
 		maxHops  = 5
 	)
-	fmt.Printf("snapshot: %d accounts, %d historical transfers\n", accounts, history)
-	g := tdb.GenPowerLaw(accounts, history, 2.4, 0.3, 71)
+	acct := func(i int) string { return fmt.Sprintf("acct-%05d", i) }
 
-	res, err := tdb.Cover(g, maxHops, &tdb.Options{Order: tdb.OrderDegreeAsc})
+	// Relabel the generated snapshot with account IDs — exactly what an
+	// ingest from a production transfer log looks like.
+	fmt.Printf("snapshot: %d accounts, %d historical transfers\n", accounts, history)
+	raw := tdb.GenPowerLaw(accounts, history, 2.4, 0.3, 71)
+	lb := tdb.NewLabeledBuilder[string]()
+	for i := 0; i < accounts; i++ {
+		lb.Intern(acct(i))
+	}
+	for _, e := range raw.Edges() {
+		lb.AddEdge(acct(int(e.U)), acct(int(e.V)))
+	}
+	g := lb.Build()
+
+	res, err := g.Solve(context.Background(), maxHops, tdb.WithOrder(tdb.OrderDegreeAsc))
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("initial audit set: %d accounts\n", len(res.Cover))
+	fmt.Printf("initial audit set: %d accounts [strategy: %s]\n",
+		len(res.Cover), res.Stats.Strategy)
 
-	m := tdb.MaintainerFromGraph(g, maxHops, 3, res.Cover)
+	m, err := g.Maintainer(maxHops, 3, res.Cover)
+	if err != nil {
+		log.Fatal(err)
+	}
 	rng := rand.New(rand.NewPCG(72, 72))
 	start := time.Now()
 	grew := 0
 	for i := 0; i < stream; i++ {
-		u := tdb.VID(rng.IntN(accounts))
-		v := tdb.VID(rng.IntN(accounts))
-		if m.InsertEdge(u, v) != -1 {
+		// A slice of the stream involves brand-new accounts (IDs beyond the
+		// snapshot), interned by the maintainer on first sight.
+		u := acct(rng.IntN(accounts + accounts/10))
+		v := acct(rng.IntN(accounts + accounts/10))
+		if _, added := m.InsertEdge(u, v); added {
 			grew++
 		}
 	}
 	elapsed := time.Since(start)
 	_, _, checks, _ := m.Stats()
-	fmt.Printf("streamed %d transfers in %v (%.1f µs/transfer, %d cycle checks, %d audit additions)\n",
+	fmt.Printf("streamed %d transfers in %v (%.1f µs/transfer, %d cycle checks, %d audit additions, %d accounts known)\n",
 		stream, elapsed.Round(time.Millisecond),
-		float64(elapsed.Microseconds())/float64(stream), checks, grew)
+		float64(elapsed.Microseconds())/float64(stream), checks, grew, m.NumVertices())
 
-	rep := tdb.Verify(m.Snapshot(), maxHops, 3, m.Cover(), false)
-	fmt.Printf("audit set still intersects every ring of length 3..%d: %v\n", maxHops, rep.Valid)
-	if !rep.Valid {
+	if rep := m.Verify(false); !rep.Valid {
 		log.Fatal("BUG: invariant broken")
+	} else {
+		fmt.Printf("audit set still intersects every ring of length 3..%d: %v\n", maxHops, rep.Valid)
 	}
 
 	// A compliance sweep closes suspicious accounts: drop 20% of the
 	// audited accounts' outgoing transfers, then shed redundant entries.
+	// One snapshot serves the whole sweep — deletions only remove edges,
+	// so stale entries are at worst no-op deletes.
+	snap := m.Snapshot()
 	closed := 0
-	for _, v := range m.Cover() {
+	for _, name := range m.Cover() {
 		if rng.IntN(5) == 0 {
-			for _, e := range m.Snapshot().Edges() {
-				if e.U == v {
-					m.DeleteEdge(e.U, e.V)
+			v, _ := snap.Lookup(name)
+			for _, w := range snap.Graph().Out(v) {
+				if m.DeleteEdge(name, snap.Label(w)) {
 					closed++
 				}
 			}
@@ -78,6 +102,6 @@ func main() {
 	shed := m.Reminimize()
 	fmt.Printf("after closing %d transfer channels: audit set %d -> %d (shed %d)\n",
 		closed, before, m.CoverSize(), shed)
-	rep = tdb.Verify(m.Snapshot(), maxHops, 3, m.Cover(), true)
+	rep := m.Verify(true)
 	fmt.Printf("final audit set valid=%v minimal=%v\n", rep.Valid, rep.Minimal)
 }

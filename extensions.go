@@ -8,7 +8,9 @@ import (
 
 // Extensions beyond the paper's static vertex-cover problem, built from the
 // same primitives (see DESIGN.md): the edge-transversal variant, the
-// SCC-partitioned parallel solver, and dynamic cover maintenance.
+// SCC-partitioned parallel solver, and dynamic cover maintenance. The
+// variants are reachable from Solve (WithEdgeCover, strategy selection);
+// the legacy entry points remain as deprecated shims.
 
 // EdgeCoverResult is a minimal constrained-cycle edge transversal.
 type EdgeCoverResult = core.EdgeCoverResult
@@ -18,21 +20,42 @@ type EdgeCoverResult = core.EdgeCoverResult
 // DARC baseline natively solves), using the paper's top-down process
 // ("TDB-E"). Removing the returned edges from the graph destroys every
 // constrained cycle.
+//
+// Deprecated: use Solve with WithEdgeCover; the transversal is returned in
+// Result.Edges.
 func CoverEdges(g *Graph, k int, opts *Options) (*EdgeCoverResult, error) {
-	return core.TopDownEdges(g, opts.toCore(k))
+	if opts != nil && opts.PrepassWorkers != 0 {
+		// The edge solver has no prepass; the legacy surface ignored the
+		// field, so the shim drops it rather than tripping Solve's
+		// incompatible-options check.
+		o := *opts
+		o.PrepassWorkers = 0
+		opts = &o
+	}
+	r, err := Solve(nil, g, k, append(opts.ToOptions(), WithEdgeCover())...)
+	if err != nil {
+		return nil, err
+	}
+	return &EdgeCoverResult{Edges: r.Edges, Stats: r.Stats}, nil
 }
 
 // CoverParallel computes the same cover as CoverWith by decomposing the
 // graph into strongly connected components and covering them concurrently.
 // It shines when the cyclic part splits into many components; a single
 // giant SCC gains nothing. workers <= 0 selects GOMAXPROCS.
+//
+// Deprecated: use Solve, which selects the SCC-partitioned strategy
+// automatically when the condensation splits (or pin it with
+// WithStrategy(StrategyParallelSCC) and WithWorkers).
 func CoverParallel(g *Graph, algo Algorithm, k int, opts *Options, workers int) (*Result, error) {
-	return core.ComputeParallel(g, algo, opts.toCore(k), workers)
+	return Solve(nil, g, k, legacySolveOptions(opts, algo,
+		WithStrategy(StrategyParallelSCC), WithWorkers(workers))...)
 }
 
 // Maintainer keeps a hop-constrained cycle cover valid across a stream of
 // edge insertions and deletions (the dynamic-graph setting of the paper's
-// fraud-detection motivation).
+// fraud-detection motivation). LabeledMaintainer is the counterpart
+// addressing vertices by external IDs.
 type Maintainer = dynamic.Maintainer
 
 // NewMaintainer creates a dynamic cover maintainer over an initially empty
@@ -42,7 +65,7 @@ func NewMaintainer(n, k, minLen int) *Maintainer {
 }
 
 // MaintainerFromGraph seeds a maintainer with an existing graph and a valid
-// cover of it (typically from Cover/CoverWith).
+// cover of it (typically from Solve).
 func MaintainerFromGraph(g *Graph, k, minLen int, cover []VID) *Maintainer {
 	return dynamic.FromGraph(g, k, minLen, cover)
 }

@@ -224,6 +224,18 @@ type Stats struct {
 	Detector cycle.Stats
 	// TimedOut marks a cancelled run; the cover is then incomplete.
 	TimedOut bool
+
+	// Strategy names the execution strategy the planning layer selected
+	// for this run ("sequential", "scc-parallel", "prepass"); empty when a
+	// legacy entry point invoked the computation directly, below the
+	// planner.
+	Strategy string
+	// StrategyPinned reports that the caller pinned the strategy rather
+	// than the planner choosing it from the SCC condensation.
+	StrategyPinned bool
+	// Workers is the effective worker count of the plan (1 for sequential
+	// plans); 0 when no planning step ran.
+	Workers int
 }
 
 // Result is a computed cover plus its statistics.
@@ -231,6 +243,10 @@ type Result struct {
 	// Cover is the vertex cover, sorted by ID. When Stats.TimedOut is set
 	// the cover is partial and NOT a valid cycle cover.
 	Cover []VID
+	// Edges is the edge transversal of an edge-cover solve (Definition 5's
+	// k-cycle transversal); nil for vertex-cover runs, where Cover carries
+	// the result instead.
+	Edges []digraph.Edge
 	Stats Stats
 }
 

@@ -6,6 +6,7 @@ import (
 
 	"tdb/internal/cycle"
 	"tdb/internal/digraph"
+	"tdb/internal/scc"
 )
 
 // Engine computes covers over one fixed graph while pooling all working
@@ -29,6 +30,13 @@ type Engine struct {
 	// detector-level scratch for prepass and parallel workers, which need
 	// many scratches per run.
 	cycPool *cycle.ScratchPool
+	// Strategy planning inspects the SCC condensation; the graph is fixed,
+	// so the engine computes the decomposition and its non-trivial
+	// component count once, and also hands the decomposition to the
+	// partitioned solver, which would otherwise recompute it per run.
+	planOnce   sync.Once
+	comps      *scc.Result
+	nontrivial int
 }
 
 // NewEngine creates a reusable compute engine over g.
@@ -55,6 +63,51 @@ func (e *Engine) Compute(ctx context.Context, algo Algorithm, opts Options) (*Re
 	rs.cycPool = e.cycPool
 	defer e.runPool.Put(rs)
 	return compute(e.g, algo, opts, rs)
+}
+
+// condensation returns the engine's cached SCC decomposition.
+func (e *Engine) condensation() *scc.Result {
+	e.planOnce.Do(func() {
+		e.comps = scc.Compute(e.g)
+		e.nontrivial = countNontrivial(e.comps)
+	})
+	return e.comps
+}
+
+// nontrivialSCCs returns the cached non-trivial component count, the
+// planner's condensation-splits signal, in O(1) steady state.
+func (e *Engine) nontrivialSCCs() int {
+	e.condensation()
+	return e.nontrivial
+}
+
+// FindCycle returns one cycle of length in [minLen, k] through vertex s,
+// or nil, using the block-based detector on scratch borrowed from the
+// engine's pool — the allocation-free counterpart of the one-shot package
+// query for serving repeated traffic.
+func (e *Engine) FindCycle(k, minLen int, s VID) []VID {
+	sc := e.cycPool.Get()
+	defer e.cycPool.Put(sc)
+	return cycle.NewBlockDetectorWith(e.g, k, minLen, nil, sc).FindFrom(s)
+}
+
+// HasHopConstrainedCycle reports whether the engine's graph contains any
+// cycle of length in [minLen, k], with pooled scratch shared between the
+// BFS-filter and the detector.
+func (e *Engine) HasHopConstrainedCycle(k, minLen int) bool {
+	sc := e.cycPool.Get()
+	defer e.cycPool.Put(sc)
+	det := cycle.NewBlockDetectorWith(e.g, k, minLen, nil, sc)
+	filter := cycle.NewBFSFilterWith(e.g, k, nil, sc)
+	for v := 0; v < e.g.NumVertices(); v++ {
+		if filter.CanPrune(VID(v)) {
+			continue
+		}
+		if det.HasCycleThrough(VID(v)) {
+			return true
+		}
+	}
+	return false
 }
 
 // ComputeParallel runs the SCC-partitioned parallel solver (see the

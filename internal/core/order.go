@@ -1,11 +1,30 @@
 package core
 
 import (
+	"fmt"
 	"math/rand/v2"
 	"sort"
 
 	"tdb/internal/digraph"
 )
+
+// orderNames maps the CLI/option-surface names to orders.
+var orderNames = map[string]Order{
+	"natural":     OrderNatural,
+	"degree-asc":  OrderDegreeAsc,
+	"degree-desc": OrderDegreeDesc,
+	"random":      OrderRandom,
+	"weighted":    OrderWeighted,
+}
+
+// ParseOrder resolves a candidate-order name ("natural", "degree-asc",
+// "degree-desc", "random", "weighted").
+func ParseOrder(s string) (Order, error) {
+	if o, ok := orderNames[s]; ok {
+		return o, nil
+	}
+	return 0, fmt.Errorf("core: unknown order %q (want natural, degree-asc, degree-desc, random or weighted)", s)
+}
 
 // vertexOrder materializes the candidate processing order for the graph.
 func vertexOrder(g *digraph.Graph, opts Options) []VID {

@@ -28,6 +28,14 @@ import (
 // polled by every worker; a timeout marks the whole result. workers <= 0
 // selects GOMAXPROCS.
 func ComputeParallel(g *digraph.Graph, algo Algorithm, opts Options, workers int) (*Result, error) {
+	return computeParallelWith(g, algo, opts, workers, nil)
+}
+
+// computeParallelWith is ComputeParallel reusing a precomputed SCC
+// decomposition when the caller (the planning layer, which inspected the
+// condensation to choose this strategy) already has one; nil computes it
+// here.
+func computeParallelWith(g *digraph.Graph, algo Algorithm, opts Options, workers int, comps *scc.Result) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(g); err != nil {
 		return nil, err
@@ -39,7 +47,9 @@ func ComputeParallel(g *digraph.Graph, algo Algorithm, opts Options, workers int
 	stop := opts.stop()
 	r := &Result{}
 
-	comps := scc.Compute(g)
+	if comps == nil {
+		comps = scc.Compute(g)
+	}
 	r.Stats.SCCSkipped = int64(g.NumVertices())
 
 	// Collect vertices of each non-trivial component.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"runtime"
 	"time"
 
 	"tdb/internal/cycle"
@@ -76,7 +77,13 @@ func topDown(g *digraph.Graph, algo Algorithm, opts Options, rs *runScratch) *Re
 		} else {
 			filter = cycle.NewBFSFilterWith(g, opts.K, rs.active.Raw(), rs.cyc)
 		}
-		if opts.PrepassWorkers != 0 {
+		// The prepass only pays off with real parallelism: at one effective
+		// worker it re-runs the filter queries the loop would run anyway,
+		// minus the view's live-edge advantage, and measures ~10-15% slower
+		// than the plain sequential loop (DESIGN.md §6). Since the cover is
+		// identical either way, a single-worker request is downgraded to the
+		// sequential path instead of honored.
+		if w := opts.PrepassWorkers; w > 1 || (w < 0 && runtime.GOMAXPROCS(0) > 1) {
 			resolved = prepass(g, opts, order, candidates, stop, &r.Stats, rs)
 		}
 	}

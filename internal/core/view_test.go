@@ -3,6 +3,7 @@ package core
 import (
 	"math/rand/v2"
 	"slices"
+	"sync/atomic"
 	"testing"
 
 	"tdb/internal/digraph"
@@ -146,17 +147,19 @@ func TestTimedOutCoverSkipsNonCandidates(t *testing.T) {
 // pass through a later unprocessed candidate kept in the cover. A timeout
 // firing after the prepass must not re-add resolved vertices.
 func TestTimedOutCoverSkipsPrepassResolved(t *testing.T) {
-	// Triangle 0-1-2 plus an acyclic tail. With natural order, the
-	// single-worker prepass resolves every vertex except 2 (the first whose
-	// prefix graph closes the triangle).
+	// Triangle 0-1-2 plus an acyclic tail. With natural order, the prepass
+	// resolves every vertex except 2 (the first whose prefix graph closes
+	// the triangle). Two workers: a single-worker request skips the prepass
+	// entirely (it cannot beat the sequential loop; see topDown).
 	gr := g(10, 0, 1, 1, 2, 2, 0, 2, 3, 3, 4, 4, 5, 5, 6, 6, 7, 7, 8, 8, 9)
-	calls := 0
+	var calls atomic.Int64
 	opts := Options{
 		K:              5,
-		PrepassWorkers: 1,
-		// The single-worker prepass polls once (one chunk covers all 10
-		// vertices); every later poll — the sequential loop — times out.
-		Cancelled: func() bool { calls++; return calls > 1 },
+		PrepassWorkers: 2,
+		// The prepass polls once (one chunk covers all 10 vertices, and the
+		// worker whose claim is beyond n breaks before polling); every later
+		// poll — the sequential loop — times out.
+		Cancelled: func() bool { return calls.Add(1) > 1 },
 	}
 	r := mustComputeTimedOut(t, gr, TDBPlusPlus, opts)
 	if r.Stats.PrepassResolved == 0 {

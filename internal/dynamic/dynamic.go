@@ -95,8 +95,27 @@ func FromGraph(g *digraph.Graph, k, minLen int, cover []VID) *Maintainer {
 	return m
 }
 
+// K returns the hop constraint the maintainer covers up to.
+func (m *Maintainer) K() int { return m.k }
+
+// MinLen returns the minimum covered cycle length.
+func (m *Maintainer) MinLen() int { return m.minLen }
+
 // NumVertices returns the vertex count.
 func (m *Maintainer) NumVertices() int { return len(m.out) }
+
+// Grow extends the vertex set to n (a no-op when the maintainer is already
+// that large). New vertices start isolated and uncovered, so the cover
+// invariant is untouched. This is what lets ID-labeled front ends intern
+// vertices first seen mid-stream.
+func (m *Maintainer) Grow(n int) {
+	for len(m.out) < n {
+		m.out = append(m.out, make(map[VID]struct{}))
+		m.in = append(m.in, make(map[VID]struct{}))
+		m.covered = append(m.covered, false)
+		m.onPath = append(m.onPath, false)
+	}
+}
 
 // NumEdges returns the current edge count.
 func (m *Maintainer) NumEdges() int { return m.m }

@@ -1,0 +1,222 @@
+package tdb
+
+import (
+	"context"
+
+	"tdb/internal/core"
+)
+
+// Option configures a Solve call. Options compose left to right:
+//
+//	res, err := tdb.Solve(ctx, g, 5,
+//	    tdb.WithAlgorithm(tdb.BURPlus),
+//	    tdb.WithOrder(tdb.OrderDegreeAsc),
+//	    tdb.WithWorkers(8),
+//	)
+//
+// The zero configuration matches the historical defaults: TDB++, natural
+// order, MinLen 3, no prefilter, automatic strategy selection over a
+// GOMAXPROCS worker budget.
+type Option func(*solveConfig)
+
+// solveConfig is the resolved option set of one Solve call.
+type solveConfig struct {
+	core          core.Options // K filled in by Solve
+	algo          Algorithm
+	workers       int
+	strategy      Strategy
+	edgeCover     bool
+	unconstrained bool
+	prepassSet    bool
+}
+
+// newSolveConfig applies opts over the defaults.
+func newSolveConfig(opts []Option) solveConfig {
+	cfg := solveConfig{algo: TDBPlusPlus}
+	for _, o := range opts {
+		if o != nil {
+			o(&cfg)
+		}
+	}
+	return cfg
+}
+
+// spec translates the configuration for the core planning layer.
+func (c *solveConfig) spec() core.SolveSpec {
+	return core.SolveSpec{
+		Algorithm:     c.algo,
+		Opts:          c.core,
+		Workers:       c.workers,
+		Strategy:      c.strategy,
+		NoAutoPrepass: c.prepassSet && c.core.PrepassWorkers == 0,
+	}
+}
+
+// WithMinLen sets the minimum covered cycle length: 3 (the default)
+// excludes 2-cycles, 2 includes them (the paper's Table IV variant).
+func WithMinLen(minLen int) Option {
+	return func(c *solveConfig) { c.core.MinLen = minLen }
+}
+
+// WithOrder sets the candidate processing order (default OrderNatural).
+func WithOrder(order Order) Option {
+	return func(c *solveConfig) { c.core.Order = order }
+}
+
+// WithSeed sets the seed for OrderRandom.
+func WithSeed(seed uint64) Option {
+	return func(c *solveConfig) { c.core.Seed = seed }
+}
+
+// WithWeights makes the cover cost-aware: vertex v costs weights[v] (length
+// must equal the vertex count) and the algorithms try to keep expensive
+// vertices out of the cover. Combine with WithOrder(OrderWeighted) to
+// process expensive vertices first, which gives them the best exclusion
+// odds. LabeledGraph.Weights builds the vector from external IDs.
+func WithWeights(weights []float64) Option {
+	return func(c *solveConfig) { c.core.Weights = weights }
+}
+
+// WithSCCPrefilter exempts vertices outside non-trivial strongly connected
+// components from cover candidacy up front (they lie on no cycle of any
+// length).
+func WithSCCPrefilter() Option {
+	return func(c *solveConfig) { c.core.SCCPrefilter = true }
+}
+
+// WithPrepassWorkers pins the TDB++ BFS-filter prepass configuration:
+// n > 1 workers pre-resolve candidates before the sequential loop (the
+// intra-SCC parallelization for graphs that are one giant SCC), n < 0
+// selects GOMAXPROCS, and n == 0 forbids the planner from selecting the
+// prepass on its own. Requests that resolve to a single effective worker
+// run the plain sequential loop, which is faster (DESIGN.md §6). Without
+// this option the planner sizes the prepass from WithWorkers when it
+// selects that strategy.
+func WithPrepassWorkers(n int) Option {
+	return func(c *solveConfig) {
+		c.core.PrepassWorkers = n
+		c.prepassSet = true
+	}
+}
+
+// WithWorkers sets the worker budget strategy selection plans against and
+// parallel strategies execute with; n <= 0 (the default) selects
+// GOMAXPROCS. One worker forces sequential execution.
+func WithWorkers(n int) Option {
+	return func(c *solveConfig) { c.workers = n }
+}
+
+// WithAlgorithm selects the cover algorithm (default TDBPlusPlus).
+func WithAlgorithm(algo Algorithm) Option {
+	return func(c *solveConfig) { c.algo = algo }
+}
+
+// WithStrategy pins the execution strategy instead of letting the planner
+// choose from the SCC condensation; see Strategy.
+func WithStrategy(s Strategy) Option {
+	return func(c *solveConfig) { c.strategy = s }
+}
+
+// WithEdgeCover switches Solve to the EDGE-transversal problem (the paper's
+// Definition 5, the problem the DARC baseline natively solves): the result
+// names a minimal edge set whose removal destroys every constrained cycle,
+// returned in Result.Edges (Cover stays empty). Edge solves always run the
+// top-down "TDB-E" process sequentially.
+func WithEdgeCover() Option {
+	return func(c *solveConfig) { c.edgeCover = true }
+}
+
+// WithUnconstrained lifts the hop constraint: Solve covers cycles of EVERY
+// length (the feedback-vertex-style variant of paper Sec. VI-C), ignoring
+// its k argument (pass 0 by convention).
+func WithUnconstrained() Option {
+	return func(c *solveConfig) { c.unconstrained = true }
+}
+
+// withContext carries a legacy Options.Context through ToOptions.
+func withContext(ctx context.Context) Option {
+	return func(c *solveConfig) { c.core.Context = ctx }
+}
+
+// withCancelled carries the deprecated Options.Cancelled hook through
+// ToOptions.
+func withCancelled(fn func() bool) Option {
+	return func(c *solveConfig) { c.core.Cancelled = fn }
+}
+
+// Strategy identifies how a solve executes; the planner picks one
+// automatically from the graph's SCC condensation and the worker budget
+// unless WithStrategy pins it. The chosen plan is recorded in
+// Stats.Strategy / Stats.Workers / Stats.StrategyPinned.
+type Strategy = core.Strategy
+
+// Execution strategies.
+const (
+	// StrategyAuto (the default) selects: StrategyParallelSCC when the
+	// condensation splits into several non-trivial SCCs, StrategyPrepass
+	// when one giant SCC meets TDB++ and more than one worker, and
+	// StrategySequential otherwise.
+	StrategyAuto = core.StrategyAuto
+	// StrategySequential is the paper's single-threaded cover loop.
+	StrategySequential = core.StrategySequential
+	// StrategyParallelSCC covers each non-trivial strongly connected
+	// component concurrently.
+	StrategyParallelSCC = core.StrategyParallelSCC
+	// StrategyPrepass runs the parallel BFS-filter prepass in front of the
+	// sequential TDB++ loop.
+	StrategyPrepass = core.StrategyPrepass
+)
+
+// ParseAlgorithm resolves the paper's algorithm names ("TDB++", "BUR+",
+// "DARC-DV", ...).
+func ParseAlgorithm(s string) (Algorithm, error) { return core.ParseAlgorithm(s) }
+
+// ParseOrder resolves a candidate-order name ("natural", "degree-asc",
+// "degree-desc", "random", "weighted").
+func ParseOrder(s string) (Order, error) { return core.ParseOrder(s) }
+
+// ParseStrategy resolves a strategy name ("auto", "sequential",
+// "scc-parallel", "prepass").
+func ParseStrategy(s string) (Strategy, error) { return core.ParseStrategy(s) }
+
+// ToOptions converts the deprecated Options struct to the equivalent
+// functional options — the migration bridge for code still assembling an
+// Options value:
+//
+//	tdb.Solve(ctx, g, k, opts.ToOptions()...)
+//
+// A nil receiver yields no options (the defaults). The conversion is exact:
+// every field, including the deprecated Cancelled hook, reaches the solve
+// unchanged.
+//
+// Concurrency note: the legacy entry points only polled Cancelled from
+// worker goroutines when the caller opted into parallelism (PrepassWorkers,
+// CoverParallel). Solve plans parallel strategies on its own, so a
+// converted Cancelled hook must be safe for concurrent use — or pin
+// WithStrategy(StrategySequential).
+func (o *Options) ToOptions() []Option {
+	if o == nil {
+		return nil
+	}
+	out := []Option{
+		WithMinLen(o.MinLen),
+		WithOrder(o.Order),
+		WithSeed(o.Seed),
+	}
+	if o.Weights != nil {
+		out = append(out, WithWeights(o.Weights))
+	}
+	if o.SCCPrefilter {
+		out = append(out, WithSCCPrefilter())
+	}
+	if o.PrepassWorkers != 0 {
+		out = append(out, WithPrepassWorkers(o.PrepassWorkers))
+	}
+	if o.Context != nil {
+		out = append(out, withContext(o.Context))
+	}
+	if o.Cancelled != nil {
+		out = append(out, withCancelled(o.Cancelled))
+	}
+	return out
+}

@@ -1,0 +1,87 @@
+package tdb
+
+import (
+	"context"
+	"fmt"
+
+	"tdb/internal/core"
+	"tdb/internal/cycle"
+)
+
+// Solve computes a hop-constrained cycle cover of g for cycles of length in
+// [3, k] (or [WithMinLen, k]) — the unified entry point of the package. The
+// defaults match Cover: TDB++ over the whole graph. Options select the
+// algorithm, the variant (edge transversal, unconstrained), and the
+// execution strategy; without a pinned strategy a planning step inspects
+// the SCC condensation and the worker budget and picks the fastest path
+// (sequential, SCC-partitioned parallel, or the TDB++ prepass), recording
+// the choice in Stats.Strategy. ctx bounds the run; a done context stops
+// the computation and marks the result TimedOut. A nil ctx is treated as
+// context.Background().
+//
+// For repeated solves over one graph use Engine.Solve, which pools all
+// working state and caches the planning inspection.
+func Solve(ctx context.Context, g *Graph, k int, opts ...Option) (*Result, error) {
+	cfg := newSolveConfig(opts)
+	if err := prepareSolve(&cfg, g, k, ctx); err != nil {
+		return nil, err
+	}
+	if cfg.edgeCover {
+		return solveEdges(g, cfg)
+	}
+	return core.Solve(g, cfg.spec())
+}
+
+// prepareSolve resolves the request-level knobs (hop bound, context) and
+// rejects contradictory option combinations.
+func prepareSolve(cfg *solveConfig, g *Graph, k int, ctx context.Context) error {
+	cfg.core.K = k
+	if cfg.unconstrained {
+		cfg.core.K = cycle.Unconstrained(g)
+	}
+	if ctx != nil {
+		cfg.core.Context = ctx
+	}
+	if cfg.edgeCover {
+		switch cfg.strategy {
+		case StrategyAuto, StrategySequential:
+		default:
+			return fmt.Errorf("tdb: WithEdgeCover supports only the sequential strategy, not %v", cfg.strategy)
+		}
+		if cfg.prepassSet && cfg.core.PrepassWorkers != 0 {
+			return fmt.Errorf("tdb: WithEdgeCover does not support the BFS-filter prepass")
+		}
+	}
+	return nil
+}
+
+// solveEdges runs the edge-transversal variant and folds its outcome into
+// the unified Result shape.
+func solveEdges(g *Graph, cfg solveConfig) (*Result, error) {
+	er, err := core.TopDownEdges(g, cfg.core)
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{Edges: er.Edges, Stats: er.Stats}
+	r.Stats.Strategy = StrategySequential.String()
+	r.Stats.StrategyPinned = cfg.strategy == StrategySequential
+	r.Stats.Workers = 1
+	return r, nil
+}
+
+// Solve is the engine counterpart of the package-level Solve: identical
+// semantics, but sequential and prepass plans borrow the engine's pooled
+// scratch and the planning inspection is cached across calls. ctx
+// supersedes a context carried in converted legacy options.
+func (e *Engine) Solve(ctx context.Context, k int, opts ...Option) (*Result, error) {
+	cfg := newSolveConfig(opts)
+	if err := prepareSolve(&cfg, e.Graph(), k, ctx); err != nil {
+		return nil, err
+	}
+	if cfg.edgeCover {
+		// The edge detector sizes its state to the edge count and is not
+		// pooled; engine edge solves share only the graph.
+		return solveEdges(e.Graph(), cfg)
+	}
+	return e.e.Solve(nil, cfg.spec())
+}

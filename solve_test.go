@@ -1,0 +1,357 @@
+package tdb
+
+import (
+	"context"
+	"slices"
+	"testing"
+)
+
+// multiSCCGraph has many small non-trivial SCCs (the condensation splits).
+func multiSCCGraph() *Graph {
+	return GenPlantedCycles(400, 20, 3, 5, 500, 17).Graph
+}
+
+// singleSCCGraph is one giant strongly connected component: a directed
+// ring with short back-chords. Large enough (beyond two prepass chunks)
+// that the auto-planner considers the prepass worthwhile.
+func singleSCCGraph() *Graph {
+	const n = 1200
+	b := NewBuilder(n)
+	for v := 0; v < n; v++ {
+		b.AddEdge(VID(v), VID((v+1)%n))
+		if v%17 == 0 {
+			b.AddEdge(VID((v+3)%n), VID(v)) // closes 4-cycles
+		}
+	}
+	return b.Build()
+}
+
+// TestPlanAutoSelection: the planner must choose the documented strategy
+// for each graph shape × worker budget × algorithm combination.
+func TestPlanAutoSelection(t *testing.T) {
+	ctx := context.Background()
+	cases := []struct {
+		name string
+		g    *Graph
+		opts []Option
+		want string
+	}{
+		{"split condensation, many workers", multiSCCGraph(),
+			[]Option{WithWorkers(4)}, "scc-parallel"},
+		{"split condensation, one worker", multiSCCGraph(),
+			[]Option{WithWorkers(1)}, "sequential"},
+		{"giant SCC, many workers, TDB++", singleSCCGraph(),
+			[]Option{WithWorkers(4)}, "prepass"},
+		{"giant SCC, one worker", singleSCCGraph(),
+			[]Option{WithWorkers(1)}, "sequential"},
+		{"giant SCC, many workers, BUR+", singleSCCGraph(),
+			[]Option{WithWorkers(4), WithAlgorithm(BURPlus)}, "sequential"},
+		{"giant SCC, prepass disabled", singleSCCGraph(),
+			[]Option{WithWorkers(4), WithPrepassWorkers(0)}, "sequential"},
+		{"acyclic graph", FromEdges(50, []Edge{{U: 0, V: 1}, {U: 1, V: 2}}),
+			[]Option{WithWorkers(4)}, "sequential"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := Solve(ctx, tc.g, 5, tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Stats.Strategy != tc.want {
+				t.Fatalf("auto plan chose %q, want %q", r.Stats.Strategy, tc.want)
+			}
+			if r.Stats.StrategyPinned {
+				t.Fatal("auto plan reported as pinned")
+			}
+			// The engine's cached planner must agree.
+			er, err := NewEngine(tc.g).Solve(ctx, 5, tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if er.Stats.Strategy != tc.want {
+				t.Fatalf("engine auto plan chose %q, want %q", er.Stats.Strategy, tc.want)
+			}
+		})
+	}
+}
+
+// TestPlanPinnedStrategies: WithStrategy and WithPrepassWorkers pin the
+// plan regardless of graph shape, and Stats reports the pin.
+func TestPlanPinnedStrategies(t *testing.T) {
+	g := multiSCCGraph() // auto would pick scc-parallel at 4 workers
+	cases := []struct {
+		name string
+		opts []Option
+		want string
+	}{
+		{"pin sequential", []Option{WithWorkers(4), WithStrategy(StrategySequential)}, "sequential"},
+		{"pin parallel", []Option{WithStrategy(StrategyParallelSCC), WithWorkers(2)}, "scc-parallel"},
+		{"pin prepass", []Option{WithStrategy(StrategyPrepass), WithWorkers(2)}, "prepass"},
+		{"prepass workers pin", []Option{WithWorkers(4), WithPrepassWorkers(2)}, "prepass"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := Solve(nil, g, 5, tc.opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r.Stats.Strategy != tc.want || !r.Stats.StrategyPinned {
+				t.Fatalf("plan = %q (pinned=%v), want pinned %q",
+					r.Stats.Strategy, r.Stats.StrategyPinned, tc.want)
+			}
+		})
+	}
+}
+
+// TestPlanRecordsWhatRuns: Stats must describe the executed path, so
+// degenerate combinations are resolved at plan time — a pinned sequential
+// plan suppresses a leftover prepass request, and a prepass pin demotes to
+// sequential when the algorithm has no prepass or only one worker is
+// available.
+func TestPlanRecordsWhatRuns(t *testing.T) {
+	g := singleSCCGraph()
+
+	// Pinned sequential + prepass request: no prepass may run.
+	r, err := Solve(nil, g, 5, WithStrategy(StrategySequential), WithPrepassWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Strategy != "sequential" || r.Stats.PrepassResolved != 0 {
+		t.Fatalf("pinned sequential ran the prepass: strategy=%q resolved=%d",
+			r.Stats.Strategy, r.Stats.PrepassResolved)
+	}
+
+	// Prepass pin with an algorithm that has no prepass: demoted, recorded.
+	r, err = Solve(nil, g, 5, WithAlgorithm(BURPlus), WithPrepassWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Strategy != "sequential" {
+		t.Fatalf("BUR+ with prepass workers recorded %q, want sequential", r.Stats.Strategy)
+	}
+	r, err = Solve(nil, g, 5, WithAlgorithm(BURPlus), WithStrategy(StrategyPrepass), WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Strategy != "sequential" {
+		t.Fatalf("pinned prepass for BUR+ recorded %q, want sequential", r.Stats.Strategy)
+	}
+
+	// Prepass pin resolving to one worker: demoted (DESIGN §6).
+	r, err = Solve(nil, g, 5, WithStrategy(StrategyPrepass), WithWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Strategy != "sequential" || r.Stats.PrepassResolved != 0 {
+		t.Fatalf("one-worker prepass pin: strategy=%q resolved=%d",
+			r.Stats.Strategy, r.Stats.PrepassResolved)
+	}
+
+	// Pinned prepass with an explicit (more specific) prepass worker count:
+	// the count wins over the general budget, and one worker demotes.
+	r, err = Solve(nil, g, 5, WithStrategy(StrategyPrepass), WithPrepassWorkers(1), WithWorkers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Strategy != "sequential" || r.Stats.PrepassResolved != 0 {
+		t.Fatalf("prepass pin at 1 explicit worker: strategy=%q resolved=%d",
+			r.Stats.Strategy, r.Stats.PrepassResolved)
+	}
+	r, err = Solve(nil, g, 5, WithStrategy(StrategyPrepass), WithPrepassWorkers(2), WithWorkers(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Stats.Strategy != "prepass" || r.Stats.Workers != 2 {
+		t.Fatalf("prepass pin at 2 explicit workers: strategy=%q workers=%d",
+			r.Stats.Strategy, r.Stats.Workers)
+	}
+	if r.Stats.PrepassResolved == 0 {
+		t.Fatal("promised prepass did not run")
+	}
+}
+
+// TestAutoMatchesPinned: on the reference workloads the auto-selected plan
+// must produce the identical cover to the same strategy pinned explicitly —
+// planning changes the path, never the answer of that path.
+func TestAutoMatchesPinned(t *testing.T) {
+	ctx := context.Background()
+	for _, tc := range []struct {
+		name    string
+		g       *Graph
+		workers int
+	}{
+		{"multi-scc", multiSCCGraph(), 4},
+		{"single-scc", singleSCCGraph(), 4},
+		{"multi-scc single worker", multiSCCGraph(), 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			auto, err := Solve(ctx, tc.g, 5, WithWorkers(tc.workers), WithOrder(OrderDegreeAsc))
+			if err != nil {
+				t.Fatal(err)
+			}
+			strat, err := ParseStrategy(auto.Stats.Strategy)
+			if err != nil {
+				t.Fatal(err)
+			}
+			pinned, err := Solve(ctx, tc.g, 5, WithWorkers(tc.workers),
+				WithOrder(OrderDegreeAsc), WithStrategy(strat))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !slices.Equal(auto.Cover, pinned.Cover) {
+				t.Fatalf("auto cover %v != pinned-%v cover %v", auto.Cover, strat, pinned.Cover)
+			}
+			if rep := Verify(tc.g, 5, 3, auto.Cover, false); !rep.Valid {
+				t.Fatal("auto cover invalid")
+			}
+		})
+	}
+}
+
+// TestEngineSolveMatchesPackageSolve across repeated runs (recycled
+// scratch) and strategies.
+func TestEngineSolveMatchesPackageSolve(t *testing.T) {
+	ctx := context.Background()
+	for _, g := range []*Graph{multiSCCGraph(), singleSCCGraph()} {
+		for _, opts := range [][]Option{
+			nil,
+			{WithWorkers(4)},
+			{WithAlgorithm(BURPlus)},
+			{WithWorkers(3), WithStrategy(StrategyParallelSCC)},
+		} {
+			want, err := Solve(ctx, g, 5, opts...)
+			if err != nil {
+				t.Fatal(err)
+			}
+			e := NewEngine(g)
+			for round := 0; round < 3; round++ {
+				got, err := e.Solve(ctx, 5, opts...)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !slices.Equal(got.Cover, want.Cover) {
+					t.Fatalf("round %d: engine cover %v != package cover %v",
+						round, got.Cover, want.Cover)
+				}
+			}
+		}
+	}
+}
+
+// TestPrepassAutoDisabledAtOneWorker: a prepass request resolving to one
+// effective worker must skip the prepass (it is strictly slower than the
+// sequential loop it fronts) while producing the identical cover.
+func TestPrepassAutoDisabledAtOneWorker(t *testing.T) {
+	g := singleSCCGraph()
+	seq, err := Solve(nil, g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	one, err := Solve(nil, g, 5, WithPrepassWorkers(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if one.Stats.PrepassResolved != 0 {
+		t.Fatalf("single-worker prepass ran anyway (resolved %d)", one.Stats.PrepassResolved)
+	}
+	if !slices.Equal(seq.Cover, one.Cover) {
+		t.Fatalf("covers differ: %v vs %v", seq.Cover, one.Cover)
+	}
+	// With real parallelism the prepass engages and still matches.
+	two, err := Solve(nil, g, 5, WithPrepassWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if two.Stats.PrepassResolved == 0 {
+		t.Fatal("two-worker prepass resolved nothing on the ring workload")
+	}
+	if !slices.Equal(seq.Cover, two.Cover) {
+		t.Fatalf("prepass cover %v != sequential %v", two.Cover, seq.Cover)
+	}
+}
+
+// TestSolveEdgeCover: WithEdgeCover returns the transversal in
+// Result.Edges, and removing those edges destroys every constrained cycle.
+func TestSolveEdgeCover(t *testing.T) {
+	g := GenSmallWorld(200, 2, 0.3, 23)
+	r, err := Solve(nil, g, 5, WithEdgeCover())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Edges) == 0 {
+		t.Fatal("no edges selected on a cyclic graph")
+	}
+	drop := make(map[Edge]bool, len(r.Edges))
+	for _, e := range r.Edges {
+		drop[e] = true
+	}
+	b := NewBuilder(g.NumVertices())
+	for _, e := range g.Edges() {
+		if !drop[e] {
+			b.AddEdge(e.U, e.V)
+		}
+	}
+	if HasHopConstrainedCycle(b.Build(), 5) {
+		t.Fatal("constrained cycle survives the edge transversal")
+	}
+}
+
+// TestSolveUnconstrained: WithUnconstrained covers cycles of every length.
+func TestSolveUnconstrained(t *testing.T) {
+	// A 9-ring has exactly one (long) cycle.
+	b := NewBuilder(9)
+	for v := VID(0); v < 9; v++ {
+		b.AddEdge(v, (v+1)%9)
+	}
+	g := b.Build()
+	r, err := Solve(nil, g, 0, WithUnconstrained())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Cover) != 1 {
+		t.Fatalf("cover %v, want one vertex", r.Cover)
+	}
+}
+
+// TestSolveContextCancellation: a done context passed to Solve stops the
+// run under every strategy.
+func TestSolveContextCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, opts := range [][]Option{
+		{WithStrategy(StrategySequential)},
+		{WithStrategy(StrategyParallelSCC), WithWorkers(2)},
+		{WithStrategy(StrategyPrepass), WithWorkers(2)},
+		{WithEdgeCover()},
+	} {
+		r, err := Solve(ctx, multiSCCGraph(), 5, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !r.Stats.TimedOut {
+			t.Fatalf("%v: cancelled context did not mark TimedOut", r.Stats.Strategy)
+		}
+	}
+}
+
+// TestEngineCycleQueries: the pooled engine queries agree with the
+// package-level one-shot functions.
+func TestEngineCycleQueries(t *testing.T) {
+	g := FromEdges(4, []Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 0}, {U: 2, V: 3}})
+	e := NewEngine(g)
+	for round := 0; round < 3; round++ { // repeated runs exercise the pool
+		if c := e.FindCycle(5, 0); len(c) != 3 {
+			t.Fatalf("round %d: FindCycle = %v", round, c)
+		}
+		if c := e.FindCycle(5, 3); c != nil {
+			t.Fatalf("round %d: vertex 3 is on no cycle, got %v", round, c)
+		}
+		if !e.HasHopConstrainedCycle(5) {
+			t.Fatalf("round %d: graph has a triangle", round)
+		}
+	}
+	dag := NewEngine(FromEdges(3, []Edge{{U: 0, V: 1}, {U: 1, V: 2}}))
+	if dag.HasHopConstrainedCycle(5) {
+		t.Fatal("DAG has no cycle")
+	}
+}

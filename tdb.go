@@ -18,13 +18,48 @@
 //
 // # Quick start
 //
+// Solve is the single entry point: it takes a context, a graph, the hop
+// constraint, and functional options, and automatically selects the
+// execution strategy (sequential, SCC-partitioned parallel, or the TDB++
+// prepass) from the graph's structure and the worker budget:
+//
 //	b := tdb.NewBuilder(0)
 //	b.AddEdge(0, 1)
 //	b.AddEdge(1, 2)
 //	b.AddEdge(2, 0)
 //	g := b.Build()
-//	res, err := tdb.Cover(g, 5, nil) // break all cycles of length 3..5
+//	res, err := tdb.Solve(ctx, g, 5) // break all cycles of length 3..5
 //	// res.Cover == [some vertex of the triangle]
+//	// res.Stats.Strategy records the plan that served the request
+//
+// Options select algorithms and variants — WithAlgorithm(BURPlus) when
+// cover size matters most, WithEdgeCover for the edge-transversal problem,
+// WithUnconstrained to drop the hop bound, WithWeights for cost-aware
+// covers — and pin execution when needed (WithStrategy, WithWorkers,
+// WithPrepassWorkers).
+//
+// # Serving repeated traffic
+//
+// Repeated solves over one fixed graph should go through an Engine, which
+// pools all O(n) working state and caches the strategy planner's graph
+// inspection:
+//
+//	eng := tdb.NewEngine(g)
+//	res, err := eng.Solve(ctx, 5)
+//
+// # Real-world vertex identities
+//
+// Production graphs rarely arrive with dense integer vertex IDs. The
+// labeled layer maps any comparable external ID type (account numbers,
+// lock names, gate identifiers) to dense VIDs and translates results back:
+//
+//	lb := tdb.NewLabeledBuilder[string]()
+//	lb.AddEdge("acct-7", "acct-19")
+//	lb.AddEdge("acct-19", "acct-3")
+//	lb.AddEdge("acct-3", "acct-7")
+//	lg := lb.Build()
+//	res, err := lg.Solve(ctx, 5)
+//	// res.Cover == ["acct-19"] (or another account of the ring)
 //
 // Use Verify to check any cover, and the cmd/ tools for file-based and
 // experiment workflows. Typical applications: picking accounts that break
@@ -42,7 +77,8 @@ import (
 	"tdb/internal/verify"
 )
 
-// VID identifies a vertex: dense integers in [0, NumVertices).
+// VID identifies a vertex: dense integers in [0, NumVertices). The labeled
+// layer (LabeledGraph) maps arbitrary external IDs onto VIDs.
 type VID = digraph.VID
 
 // Edge is a directed edge.
@@ -92,12 +128,16 @@ const (
 	OrderDegreeDesc = core.OrderDegreeDesc
 	OrderRandom     = core.OrderRandom
 	// OrderWeighted processes expensive vertices first so they are
-	// preferentially excluded from the cover; requires Options.Weights.
+	// preferentially excluded from the cover; requires WithWeights.
 	OrderWeighted = core.OrderWeighted
 )
 
 // Options tunes a cover computation; the zero value means: exclude 2-cycles
 // (MinLen 3), natural order, no prefilter, run to completion.
+//
+// Deprecated: pass functional options to Solve instead; ToOptions converts
+// an existing Options value. The struct remains fully honored by the legacy
+// entry points.
 type Options struct {
 	// MinLen: 3 (default) excludes 2-cycles; 2 includes them.
 	MinLen int
@@ -117,6 +157,8 @@ type Options struct {
 	// cover produced being identical. This is the speedup for graphs that
 	// are one giant SCC, where CoverParallel's SCC decomposition gains
 	// nothing. 0 (the default) keeps the paper's sequential behavior.
+	// Requests resolving to one effective worker fall back to the plain
+	// sequential loop, which is faster (DESIGN.md §6).
 	PrepassWorkers int
 	// Context, when non-nil, carries cancellation and deadline for the
 	// run; a done context stops the computation and marks the result
@@ -132,23 +174,21 @@ type Options struct {
 	Cancelled func() bool
 }
 
-// toCore translates the public options for the core layer.
-func (o *Options) toCore(k int) core.Options {
-	c := core.Options{K: k}
-	if o != nil {
-		c.MinLen = o.MinLen
-		c.Order = o.Order
-		c.Seed = o.Seed
-		c.Weights = o.Weights
-		c.SCCPrefilter = o.SCCPrefilter
-		c.PrepassWorkers = o.PrepassWorkers
-		c.Context = o.Context
-		c.Cancelled = o.Cancelled
+// legacySolveOptions converts a deprecated Options value plus an explicit
+// algorithm into the pinned option set reproducing the legacy entry-point
+// behavior exactly: the sequential loop, or — for TDB++ with prepass
+// workers requested — the prepass (ToOptions already pins that; every
+// other algorithm ignored the field, which a sequential pin preserves).
+func legacySolveOptions(opts *Options, algo Algorithm, extra ...Option) []Option {
+	o := append(opts.ToOptions(), WithAlgorithm(algo))
+	if opts == nil || opts.PrepassWorkers == 0 || algo != TDBPlusPlus {
+		o = append(o, WithStrategy(StrategySequential))
 	}
-	return c
+	return append(o, extra...)
 }
 
-// Result is a computed cover plus run statistics.
+// Result is a computed cover plus run statistics; Stats records the
+// execution plan Solve selected.
 type Result = core.Result
 
 // Stats describes the work performed during a cover computation.
@@ -157,20 +197,26 @@ type Stats = core.Stats
 // Cover computes a hop-constrained cycle cover of g for cycles of length in
 // [3, k] (or [MinLen, k] if opts overrides MinLen) using TDB++, the paper's
 // fastest algorithm. A nil opts selects the defaults.
+//
+// Deprecated: use Solve, which adds automatic strategy selection; Cover
+// always runs the sequential path.
 func Cover(g *Graph, k int, opts *Options) (*Result, error) {
 	return CoverWith(g, TDBPlusPlus, k, opts)
 }
 
 // CoverWith is Cover with an explicit algorithm choice.
+//
+// Deprecated: use Solve with WithAlgorithm.
 func CoverWith(g *Graph, algo Algorithm, k int, opts *Options) (*Result, error) {
-	return core.Compute(g, algo, opts.toCore(k))
+	return Solve(nil, g, k, legacySolveOptions(opts, algo)...)
 }
 
-// Engine computes repeated covers over one fixed graph while pooling all
+// Engine computes repeated solves over one fixed graph while pooling all
 // working state (detector tables, filter queues, the active-adjacency
 // working graph) across runs — the entry point for serving heavy repeated
-// traffic. One-shot Cover calls allocate that state afresh on every run; an
-// Engine brings steady-state allocations down to the returned result.
+// traffic. One-shot Solve calls allocate that state afresh on every run; an
+// Engine brings steady-state allocations down to the returned result, and
+// caches the strategy planner's SCC inspection of the fixed graph.
 // Engines are safe for concurrent use.
 type Engine struct {
 	e *core.Engine
@@ -186,28 +232,49 @@ func (e *Engine) Graph() *Graph { return e.e.Graph() }
 
 // Cover is the engine counterpart of the package-level Cover (TDB++ with
 // defaults). ctx bounds the run and supersedes opts.Context when non-nil.
+//
+// Deprecated: use Engine.Solve.
 func (e *Engine) Cover(ctx context.Context, k int, opts *Options) (*Result, error) {
 	return e.CoverWith(ctx, TDBPlusPlus, k, opts)
 }
 
 // CoverWith is Engine.Cover with an explicit algorithm choice.
+//
+// Deprecated: use Engine.Solve with WithAlgorithm.
 func (e *Engine) CoverWith(ctx context.Context, algo Algorithm, k int, opts *Options) (*Result, error) {
-	return e.e.Compute(ctx, algo, opts.toCore(k))
+	return e.Solve(ctx, k, legacySolveOptions(opts, algo)...)
 }
 
 // CoverParallel is the engine counterpart of the package-level
-// CoverParallel (SCC-partitioned decomposition). It shares the engine's
-// context plumbing but not its scratch pools: per-component subgraphs
-// differ in size from the engine's graph, so their state is allocated per
-// run.
+// CoverParallel (SCC-partitioned decomposition).
+//
+// Deprecated: use Engine.Solve, which selects the SCC-partitioned strategy
+// automatically when the condensation splits (or pin it with
+// WithStrategy(StrategyParallelSCC) and WithWorkers).
 func (e *Engine) CoverParallel(ctx context.Context, algo Algorithm, k int, opts *Options, workers int) (*Result, error) {
-	return e.e.ComputeParallel(ctx, algo, opts.toCore(k), workers)
+	return e.Solve(ctx, k, legacySolveOptions(opts, algo,
+		WithStrategy(StrategyParallelSCC), WithWorkers(workers))...)
+}
+
+// FindCycle returns one cycle of length in [3, k] through vertex s, or
+// nil, on scratch borrowed from the engine's pool — the allocation-free
+// counterpart of the package-level FindCycle.
+func (e *Engine) FindCycle(k int, s VID) []VID {
+	return e.e.FindCycle(k, cycle.DefaultMinLen, s)
+}
+
+// HasHopConstrainedCycle reports whether the engine's graph contains any
+// cycle of length in [3, k], with pooled scratch.
+func (e *Engine) HasHopConstrainedCycle(k int) bool {
+	return e.e.HasHopConstrainedCycle(k, cycle.DefaultMinLen)
 }
 
 // CoverAllCycles computes a minimal cover of cycles of EVERY length (the
 // unconstrained feedback-vertex-style variant, paper Sec. VI-C).
+//
+// Deprecated: use Solve with WithUnconstrained.
 func CoverAllCycles(g *Graph, opts *Options) (*Result, error) {
-	return Cover(g, cycle.Unconstrained(g), opts)
+	return Solve(nil, g, 0, legacySolveOptions(opts, TDBPlusPlus, WithUnconstrained())...)
 }
 
 // Report is the outcome of Verify.
@@ -220,13 +287,14 @@ func Verify(g *Graph, k, minLen int, cover []VID, wantMinimal bool) Report {
 }
 
 // FindCycle returns one cycle of length in [3, k] through vertex s, or nil.
-// It uses the paper's block-based detector.
+// It uses the paper's block-based detector. For repeated queries use
+// Engine.FindCycle, which pools the detector state.
 func FindCycle(g *Graph, k int, s VID) []VID {
 	return cycle.NewBlockDetector(g, k, cycle.DefaultMinLen, nil).FindFrom(s)
 }
 
 // HasHopConstrainedCycle reports whether g contains any cycle of length in
-// [3, k].
+// [3, k]. For repeated queries use Engine.HasHopConstrainedCycle.
 func HasHopConstrainedCycle(g *Graph, k int) bool {
 	sc := cycle.NewScratch(g.NumVertices()) // detector + filter share one scratch
 	det := cycle.NewBlockDetectorWith(g, k, cycle.DefaultMinLen, nil, sc)
