@@ -108,10 +108,14 @@ func run(args []string, out io.Writer) error {
 		return err
 	}
 	st := res.Stats
-	fmt.Fprintf(os.Stderr, "%s k=%d minlen=%d [%s, %d workers]: cover=%d in %v (checked=%d, filter-pruned=%d, scc-skipped=%d)\n",
+	batched := ""
+	if st.FilterBatchWidth > 0 {
+		batched = fmt.Sprintf(", filter-batches=%dx%d lanes", st.Detector.Batches, st.FilterBatchWidth)
+	}
+	fmt.Fprintf(os.Stderr, "%s k=%d minlen=%d [%s, %d workers]: cover=%d in %v (checked=%d, filter-pruned=%d, scc-skipped=%d%s)\n",
 		st.Algorithm, st.K, st.MinLen, st.Strategy, st.Workers,
 		st.CoverSize, st.Duration.Round(time.Millisecond),
-		st.Checked, st.FilterPruned, st.SCCSkipped)
+		st.Checked, st.FilterPruned, st.SCCSkipped, batched)
 	if st.TimedOut {
 		return fmt.Errorf("timed out after %v; partial cover not written", *timeout)
 	}

@@ -6,6 +6,7 @@
 //	tdbbench -exp table3                 # one experiment
 //	tdbbench -exp all -scale 0.05       # the full evaluation
 //	tdbbench -list                       # show available experiments
+//	tdbbench -bench [-bench-out d]       # micro-bench suite -> BENCH_*.json
 //
 // Timed-out runs print INF, like the paper's plots. Absolute numbers are
 // not comparable with the paper (synthetic stand-in data at reduced scale,
@@ -46,12 +47,23 @@ func run(args []string) error {
 		doVerify   = fs.Bool("verify", false, "verify every completed cover (slow)")
 		quick      = fs.Bool("quick", false, "use the small CI configuration")
 		list       = fs.Bool("list", false, "list experiments and exit")
+		bench      = fs.Bool("bench", false, "run the micro-benchmark suite and write a BENCH_<timestamp>.json report")
+		benchOut   = fs.String("bench-out", ".", "directory for the -bench report")
+		benchTime  = fs.Duration("bench-time", 300*time.Millisecond, "per-benchmark time budget for -bench")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
 	if *list {
 		fmt.Println("experiments:", strings.Join(exp.Experiments(), " "), "all")
+		return nil
+	}
+	if *bench {
+		path, err := runBenchSuite(*benchOut, *benchTime)
+		if err != nil {
+			return err
+		}
+		fmt.Println(path)
 		return nil
 	}
 	if *expID == "" {

@@ -1,8 +1,44 @@
 package main
 
 import (
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"testing"
 )
+
+// TestBenchMode runs the micro-benchmark suite with a tiny time budget and
+// validates the BENCH_*.json report it writes.
+func TestBenchMode(t *testing.T) {
+	dir := t.TempDir()
+	if err := run([]string{"-bench", "-bench-out", dir, "-bench-time", "1ms"}); err != nil {
+		t.Fatal(err)
+	}
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil || len(matches) != 1 {
+		t.Fatalf("expected exactly one BENCH_*.json, got %v (err %v)", matches, err)
+	}
+	data, err := os.ReadFile(matches[0])
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("report is not valid JSON: %v", err)
+	}
+	if rep.FilterBatchWidth != 64 {
+		t.Fatalf("filter_batch_width = %d, want 64", rep.FilterBatchWidth)
+	}
+	for _, name := range []string{"CoverRepeated/Engine", "BFSFilterBatch/powerlaw"} {
+		e, ok := rep.Benchmarks[name]
+		if !ok {
+			t.Fatalf("report is missing benchmark %q", name)
+		}
+		if e.NsPerOp <= 0 || e.Iterations <= 0 {
+			t.Fatalf("benchmark %q has empty measurement: %+v", name, e)
+		}
+	}
+}
 
 func TestListMode(t *testing.T) {
 	if err := run([]string{"-list"}); err != nil {

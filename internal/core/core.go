@@ -5,7 +5,9 @@
 // All algorithms produce a set of vertices that intersects every simple
 // directed cycle of length in [MinLen, K] of the input graph; BUR+ and the
 // whole top-down family additionally guarantee minimality (no cover vertex
-// can be dropped). They are single-threaded, as in the paper.
+// can be dropped). The core cover loops are sequential, as in the paper;
+// the SCC-partitioned solver (parallel.go) and the TDB++ BFS-filter
+// prepass (prepass.go) parallelize around them without changing covers.
 package core
 
 import (
@@ -209,8 +211,15 @@ type Stats struct {
 	// SCCSkipped counts candidates exempted by the SCC prefilter.
 	SCCSkipped int64
 	// FilterPruned counts candidates the BFS-filter resolved inside the
-	// sequential loop (TDB++).
+	// sequential loop (TDB++). Since the batched filter these prunes are
+	// proven in word-wide sweeps ahead of the per-candidate steps;
+	// Detector.Batches counts the sweeps.
 	FilterPruned int64
+	// FilterBatchWidth is the lane capacity of the bit-parallel batched
+	// BFS filter (cycle.BatchWidth on runs that used it, 0 otherwise):
+	// each of the run's Detector.Batches sweeps answered up to this many
+	// per-vertex pruning queries at once.
+	FilterBatchWidth int
 	// PrepassResolved counts candidates the parallel full-graph BFS-filter
 	// prepass resolved before the sequential loop (TDB++ with
 	// Options.PrepassWorkers != 0).

@@ -2,12 +2,18 @@ package core
 
 import (
 	"context"
+	"math"
 	"sync"
 
 	"tdb/internal/cycle"
 	"tdb/internal/digraph"
 	"tdb/internal/scc"
 )
+
+// rankExcluded marks vertices outside the batched in-loop filter graph
+// (cover vertices, unreached candidates); working-graph members rank 0 and
+// the current filter window counts up from 1 (see topDown).
+const rankExcluded = math.MaxInt32
 
 // Engine computes covers over one fixed graph while pooling all working
 // state — the detectors' epoch-mark/stamp tables, the BFS-filter queues,
@@ -93,21 +99,16 @@ func (e *Engine) FindCycle(k, minLen int, s VID) []VID {
 
 // HasHopConstrainedCycle reports whether the engine's graph contains any
 // cycle of length in [minLen, k], with pooled scratch shared between the
-// BFS-filter and the detector.
+// batched BFS-filter (64 pruning queries per sweep) and the detector run
+// on the survivors.
 func (e *Engine) HasHopConstrainedCycle(k, minLen int) bool {
 	sc := e.cycPool.Get()
 	defer e.cycPool.Put(sc)
 	det := cycle.NewBlockDetectorWith(e.g, k, minLen, nil, sc)
-	filter := cycle.NewBFSFilterWith(e.g, k, nil, sc)
-	for v := 0; v < e.g.NumVertices(); v++ {
-		if filter.CanPrune(VID(v)) {
-			continue
-		}
-		if det.HasCycleThrough(VID(v)) {
-			return true
-		}
-	}
-	return false
+	filter := cycle.NewBatchBFSFilterWith(e.g, k, nil, sc)
+	return !filter.VisitUnpruned(e.g.NumVertices(), func(v VID) bool {
+		return !det.HasCycleThrough(v) // a found cycle stops the sweep
+	})
 }
 
 // ComputeParallel runs the SCC-partitioned parallel solver (see the
@@ -135,8 +136,12 @@ type runScratch struct {
 	view     *digraph.ActiveAdjacency
 	ids      []VID   // candidate-order buffer
 	h        []int64 // BUR hit counters (lazy)
-	resolved []bool  // prepass result buffer (lazy)
+	resolved []bool  // prepass/batch-filter result buffer (lazy)
 	pos      []int32 // prepass order-position index (lazy)
+	frank    []int32 // batched in-loop filter rank array (lazy)
+	// bpf is the pooled batched in-loop filter, re-targeted per run so the
+	// steady-state engine cover does not allocate it.
+	bpf cycle.BatchPrefixFilter
 	// cycPool, when non-nil, supplies per-worker detector scratch for the
 	// prepass (set by Engine; nil on the one-shot path).
 	cycPool *cycle.ScratchPool
@@ -215,4 +220,20 @@ func (rs *runScratch) posBuf(n int) []int32 {
 		rs.pos = make([]int32, n)
 	}
 	return rs.pos
+}
+
+// filterRankBuf returns the rank array of the batched in-loop BFS filter,
+// reset to all-excluded. It is deliberately separate from the run's
+// working-graph representation: the filter queries a window of candidates
+// AHEAD of the per-candidate loop, and admitting the window through these
+// O(1)-toggle ranks keeps the view — and with it every detector query —
+// bit-exactly on the sequential working graph (see topDown).
+func (rs *runScratch) filterRankBuf(n int) []int32 {
+	if rs.frank == nil {
+		rs.frank = make([]int32, n)
+	}
+	for i := range rs.frank {
+		rs.frank[i] = rankExcluded
+	}
+	return rs.frank
 }

@@ -36,6 +36,12 @@ func TestEngineMatchesCompute(t *testing.T) {
 // TestEngineAllocsSteadyState: after warm-up, an engine cover must allocate
 // far less than the one-shot path — the point of the pooled scratch arena.
 func TestEngineAllocsSteadyState(t *testing.T) {
+	if raceEnabled {
+		// The race runtime randomizes sync.Pool caching (Get may drop the
+		// pooled scratch on purpose), so the engine-vs-one-shot allocation
+		// gap this test asserts does not exist under -race.
+		t.Skip("allocation counts are not meaningful under the race detector")
+	}
 	gr := gen.SmallWorld(2000, 2, 0.2, 7)
 	e := NewEngine(gr)
 	run := func() {

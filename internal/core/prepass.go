@@ -20,27 +20,46 @@ import (
 // cycles. When the sequential loop reaches candidate v, its working graph
 // G0+v holds the candidates ordered before v MINUS the cover collected so
 // far. The prepass queries v on its PREFIX graph — all candidates ordered
-// before v, cover vertices conservatively included — which is a superset of
-// G0+v, so a prefix-graph prune can never turn out wrong in the loop. (The
-// full graph G would be sound by the same lemma, but strictly wasteful:
-// each of its queries costs as much as the LAST loop query, roughly twice
-// the average prefix query, which would make the single-worker prepass
-// slower than the plain sequential loop it replaces.)
+// before v, cover vertices conservatively included — which is a superset
+// of G0+v, so a prefix-graph prune can never turn out wrong in the loop. (The full graph G would be sound by
+// the same lemma, but strictly wasteful: each of its queries costs as much
+// as the LAST loop query, roughly twice the average prefix query, which
+// would make the single-worker prepass slower than the plain sequential
+// loop it replaces.)
 //
-// Each candidate's keep/drop decision is unchanged — the in-loop filter,
-// running on the even smaller G0+v, would have pruned every prepass-pruned
-// vertex too — so TDB++ with the prepass returns the identical cover and
-// only redistributes (and parallelizes) filter work. Workers claim
-// position chunks from an atomic counter; prefix membership is a read-only
-// shared position array (PrefixFilter), so a worker's whole private state
-// is one detector Scratch — no locks and no O(n) setup on the query path.
-// Wall-clock speedup therefore tracks GOMAXPROCS; with a single CPU the
-// pass degrades gracefully to the sequential filter cost.
+// Queries run bit-parallel: each worker packs up to cycle.BatchWidth
+// consecutive candidates into one uint64 lane word and answers them with a
+// single level-synchronous sweep (cycle.BatchPrefixFilter), each lane
+// confined to its own source's prefix, so the resolution mask is
+// bit-identical to per-vertex scalar queries — the in-loop filter, running
+// on the even smaller G0+v, would have pruned every prepass-pruned vertex
+// too, and TDB++ with the prepass returns the identical cover, only
+// redistributing (and parallelizing) filter work. Workers claim position
+// chunks from an atomic counter; prefix membership is a read-only shared
+// position array, so a worker's whole private state is one detector
+// Scratch — no locks and no O(n) setup on the query path. Wall-clock
+// speedup therefore tracks GOMAXPROCS; with a single CPU the pass degrades
+// gracefully to the sequential filter cost.
 
 // prepassChunk is the number of order positions a worker claims per atomic
-// increment: large enough to amortize the atomic, small enough to balance
-// the position-dependent query costs.
+// increment: large enough to amortize the atomic (and to fill several
+// 64-lane words per claim), small enough to balance the position-dependent
+// query costs.
 const prepassChunk = 512
+
+// prunedWord queries one word of candidates (ascending position order) and
+// marks the pruned lanes in resolved, returning how many it marked.
+func prunedWord(f *cycle.BatchPrefixFilter, batch []VID, prunedBuf []bool, resolved []bool) int64 {
+	f.CanPruneBatch(batch, prunedBuf)
+	var pruned int64
+	for i, v := range batch {
+		if prunedBuf[i] {
+			resolved[v] = true
+			pruned++
+		}
+	}
+	return pruned
+}
 
 // prepass runs the prefix-graph BFS filter over all candidates with
 // opts.PrepassWorkers workers (<0 selects GOMAXPROCS) and returns the
@@ -62,18 +81,28 @@ func prepass(g *digraph.Graph, opts Options, order []VID, candidates []bool, sto
 		pos[v] = int32(i)
 	}
 
-	// scan resolves order positions [lo, hi) on one worker's filter.
-	scan := func(f *cycle.PrefixFilter, lo, hi int) int64 {
+	// scan resolves order positions [lo, hi) on one worker's filter, one
+	// word of up to cycle.BatchWidth candidates at a time; scanning by
+	// position yields the ascending order the per-lane prefixes require.
+	scan := func(f *cycle.BatchPrefixFilter, lo, hi int) int64 {
 		var pruned int64
+		var batchBuf [cycle.BatchWidth]VID
+		var prunedBuf [cycle.BatchWidth]bool
+		nb := 0
 		for p := lo; p < hi; p++ {
 			v := order[p]
 			if candidates != nil && !candidates[v] {
 				continue
 			}
-			if f.CanPrune(v, int32(p)) {
-				resolved[v] = true
-				pruned++
+			batchBuf[nb] = v
+			nb++
+			if nb == cycle.BatchWidth {
+				pruned += prunedWord(f, batchBuf[:nb], prunedBuf[:nb], resolved)
+				nb = 0
 			}
+		}
+		if nb > 0 {
+			pruned += prunedWord(f, batchBuf[:nb], prunedBuf[:nb], resolved)
 		}
 		return pruned
 	}
@@ -82,7 +111,7 @@ func prepass(g *digraph.Graph, opts Options, order []VID, candidates []bool, sto
 		// Single worker runs inline on the run's own scratch: no
 		// goroutines, no atomics — the cost is the filter queries the
 		// sequential loop is about to skip.
-		f := cycle.NewPrefixFilterWith(g, opts.K, pos, rs.cyc)
+		f := cycle.NewBatchPrefixFilterWith(g, opts.K, pos, rs.cyc)
 		var pruned int64
 		for lo := 0; lo < n; lo += prepassChunk {
 			if stop != nil && stop() {
@@ -109,7 +138,7 @@ func prepass(g *digraph.Graph, opts Options, order []VID, candidates []bool, sto
 				sc = rs.cycPool.Get()
 				defer rs.cycPool.Put(sc)
 			}
-			f := cycle.NewPrefixFilterWith(g, opts.K, pos, sc)
+			f := cycle.NewBatchPrefixFilterWith(g, opts.K, pos, sc)
 			var pruned int64
 			for {
 				lo := int(next.Add(prepassChunk)) - prepassChunk

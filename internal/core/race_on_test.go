@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports that this test binary was built with the race
+// detector, which randomizes sync.Pool caching and instruments
+// allocations — both invalidate allocation-count assertions.
+const raceEnabled = true

@@ -22,6 +22,71 @@ type working interface {
 	Deactivate(v VID) bool
 }
 
+// Tier-probe tuning: stretches per tier in a probe round, and committed
+// stretches before the choice is revisited. Small probe rounds keep the
+// worst case (the wrong tier probed on its worst stretches) bounded at a
+// few windows' worth of filter work.
+const (
+	tierProbeStretches  = 3
+	tierCommitStretches = 26
+)
+
+// tierProbe picks, by measurement, which filter tier answers a stretch of
+// candidates: the batched look-ahead or the scalar per-candidate filter.
+// Filter edge-scans are the signal — the detector's work is identical
+// under either tier (the decisions are the same), so scans are the whole
+// mode-dependent cost. Each probe round charges tierProbeStretches
+// alternating stretches to each tier, commits to the cheaper one for
+// tierCommitStretches, then re-probes, tracking the crossover as the
+// working graph fills.
+type tierProbe struct {
+	started    bool
+	lastScans  int64
+	prevBatch  bool
+	scansB     int64 // probe-round scan totals per tier
+	scansS     int64
+	nB, nS     int
+	commitLeft int
+	useBatch   bool
+}
+
+// nextStretch closes the previous stretch (attributing its scans) and
+// reports whether the next stretch should use the batched tier.
+// scansSoFar is the running total of both filters' EdgeScans.
+func (p *tierProbe) nextStretch(scansSoFar int64) bool {
+	if p.started {
+		delta := scansSoFar - p.lastScans
+		if p.commitLeft > 0 {
+			p.commitLeft--
+			if p.commitLeft == 0 { // committed span over: fresh probe round
+				p.scansB, p.scansS, p.nB, p.nS = 0, 0, 0, 0
+			}
+		} else if p.prevBatch {
+			p.scansB += delta
+			p.nB++
+		} else {
+			p.scansS += delta
+			p.nS++
+		}
+	}
+	p.started = true
+	p.lastScans = scansSoFar
+	switch {
+	case p.commitLeft > 0:
+		// keep the committed tier
+	case p.nB < tierProbeStretches || p.nS < tierProbeStretches:
+		p.useBatch = !p.prevBatch // alternate while probing (batch first)
+	default:
+		// A batched edge-scan costs ~4/3 of a scalar one (word merges and
+		// consolidation ride on it), so the batch tier must win on scans by
+		// at least that margin before it is worth committing to.
+		p.useBatch = p.scansB*4*int64(p.nS) <= p.scansS*3*int64(p.nB)
+		p.commitLeft = tierCommitStretches
+	}
+	p.prevBatch = p.useBatch
+	return p.useBatch
+}
+
 // topDown implements the paper's top-down cover (Alg. 8) in its three
 // variants:
 //
@@ -69,13 +134,49 @@ func topDown(g *digraph.Graph, algo Algorithm, opts Options, rs *runScratch) *Re
 		det = blockDet
 	}
 	order := vertexOrderBuf(g, opts, rs.ids)
-	var filter *cycle.BFSFilter
+	var filter *cycle.BatchPrefixFilter
+	var scalarFilter *cycle.BFSFilter
+	var frank []int32
 	var resolved []bool
 	if algo == TDBPlusPlus {
+		// The scalar filter is tier two of the pruning path: it re-checks,
+		// on the exact working graph G0+v, every candidate the batched
+		// look-ahead could not prune (and every candidate once the
+		// look-ahead switches itself off), so the set of candidates that
+		// reach the detector is bit-identical to the paper's sequential
+		// loop.
 		if view != nil {
-			filter = cycle.NewBFSFilterView(view, opts.K, rs.cyc)
+			scalarFilter = cycle.NewBFSFilterView(view, opts.K, rs.cyc)
 		} else {
-			filter = cycle.NewBFSFilterWith(g, opts.K, rs.active.Raw(), rs.cyc)
+			scalarFilter = cycle.NewBFSFilterWith(g, opts.K, rs.active.Raw(), rs.cyc)
+		}
+		// The batched look-ahead tier runs only on pooled (engine) scratch:
+		// its lane buffers cost six words per vertex, which the engine
+		// amortizes across runs while a one-shot cover would reallocate —
+		// and GC — them every call for a constant-factor gamble. One-shot
+		// runs therefore keep the paper's scalar loop; the legacy shims and
+		// Solve share this single code path either way, the tier choice
+		// being a per-run resource decision.
+		//
+		// The batched filter runs on its OWN membership ranks rather than
+		// on the run's working-graph representation: admitting a whole
+		// window of candidates to the filter graph costs one int write per
+		// vertex instead of O(deg) view swaps, and the view — hence every
+		// detector query — stays bit-exactly on the sequential working
+		// graph. Ranks are 0 for working-graph members, 1+offset for the
+		// current window's vertices in scan order, and rankExcluded for
+		// everything else, so lane i of a batch — querying at its own rank
+		// — sees G0 plus only the window vertices UP TO its member, a
+		// tight superset of its sequential working graph G0+v (tight
+		// matters: every candidate the filter misses costs an exhaustive
+		// detector query). The filter records its prunes in the same
+		// resolved mask the prepass fills, so the loop below has a single
+		// "proved unnecessary" path.
+		if rs.cycPool != nil {
+			frank = rs.filterRankBuf(g.NumVertices())
+			filter = &rs.bpf
+			filter.Reinit(g, opts.K, frank, rs.cyc)
+			r.Stats.FilterBatchWidth = cycle.BatchWidth
 		}
 		// The prepass only pays off with real parallelism: at one effective
 		// worker it re-runs the filter queries the loop would run anyway,
@@ -85,46 +186,147 @@ func topDown(g *digraph.Graph, algo Algorithm, opts Options, rs *runScratch) *Re
 		// sequential path instead of honored.
 		if w := opts.PrepassWorkers; w > 1 || (w < 0 && runtime.GOMAXPROCS(0) > 1) {
 			resolved = prepass(g, opts, order, candidates, stop, &r.Stats, rs)
+			// The prepass answers its queries through the batched prefix
+			// filter on any path, one-shot included.
+			r.Stats.FilterBatchWidth = cycle.BatchWidth
+		} else if filter != nil {
+			resolved = rs.resolvedBuf(g.NumVertices())
 		}
 	}
 
-	for _, v := range order {
+	// Batched in-loop pruning (TDB++), tier one of the filter: candidates
+	// are pruned in words of up to cycle.BatchWidth ahead of processing.
+	// Lane i's filter graph — G0 plus the window scanned up to its member —
+	// is a superset of the member's sequential working graph (it
+	// conservatively includes earlier window vertices the loop will move to
+	// the cover), so a batch prune is sound for the loop by subgraph
+	// inheritance; batch misses fall through to the tier-two scalar filter
+	// and the detector, which decide on the exact working graph — keep/drop
+	// decisions, hence covers, stay bit-identical to the scalar loop's,
+	// preserving Theorem 7's minimality argument unchanged.
+	//
+	// Whether the look-ahead PAYS depends on the workload, not on any
+	// static property this code can see: word-wide sweeps win when lanes
+	// share frontiers (hub-heavy graphs, deep queries), and lose to the
+	// scalar filter's early exits when queries die in a handful of scans
+	// (scattered sparse graphs, saturated working graphs). So the loop
+	// measures instead of guessing: it alternates probe stretches of
+	// batched and scalar-only filtering, compares filter edge-scans per
+	// decided candidate — detector work is identical either way, so scans
+	// are the whole mode-dependent cost — and commits to the cheaper tier,
+	// re-probing periodically in case the answer changes as the working
+	// graph fills.
+	var (
+		batchBuf    [cycle.BatchWidth]VID
+		prunedBuf   [cycle.BatchWidth]bool
+		batchedUpTo int // order positions < batchedUpTo have been tier-assigned
+		probe       tierProbe
+	)
+	// stretchEnd returns the order position just past the next
+	// cycle.BatchWidth unresolved candidates — one stretch, the unit both
+	// tiers are probed and charged in.
+	stretchEnd := func(start int) int {
+		seen := 0
+		j := start
+		for ; j < len(order) && seen < cycle.BatchWidth; j++ {
+			v := order[j]
+			if (candidates == nil || candidates[v]) && !resolved[v] {
+				seen++
+			}
+		}
+		return j
+	}
+	batchWindow := func(start int) {
+		batch := batchBuf[:0]
+		j := start
+		for ; j < len(order) && len(batch) < cycle.BatchWidth; j++ {
+			v := order[j]
+			// Rank everything scanned by window offset — non-candidates
+			// and resolved vertices join the working graph when the loop
+			// reaches them, so lanes ordered after them must see them.
+			frank[v] = int32(j-start) + 1
+			if (candidates == nil || candidates[v]) && !resolved[v] {
+				batch = append(batch, v)
+			}
+		}
+		batchedUpTo = j
+		if len(batch) == 0 {
+			return
+		}
+		pruned := prunedBuf[:len(batch)]
+		filter.CanPruneBatch(batch, pruned)
+		for i, v := range batch {
+			if pruned[i] {
+				// Proven: no constrained cycle through v in lane i's filter
+				// graph, hence in any subgraph the loop could query it on.
+				// v stays in the filter graph; its rank collapses to 0 when
+				// the loop admits it to the working graph.
+				resolved[v] = true
+				r.Stats.FilterPruned++
+			} else {
+				// Inconclusive: withdraw v and hand it back to the
+				// per-candidate loop, which decides it on its exact
+				// working graph.
+				frank[v] = rankExcluded
+			}
+		}
+	}
+
+	for idx, v := range order {
 		if stop != nil && stop() {
 			// Everything not yet processed stays in the (partial) cover —
-			// except vertices the SCC/candidate prefilter or the prepass
-			// already proved to lie on no constrained cycle, which can
-			// never be needed: a surviving cycle through a resolved vertex
-			// would have to lie inside its prefix graph (refuted by the
-			// prepass) or pass through a later unprocessed candidate, which
-			// is itself kept in the cover.
+			// except vertices the SCC/candidate prefilter, the prepass, or
+			// the batched in-loop filter already proved to lie on no
+			// constrained cycle, which can never be needed: a surviving
+			// cycle through a resolved vertex would have to lie inside the
+			// graph it was pruned on (refuted by that proof) or pass
+			// through a later unprocessed candidate, which is itself kept
+			// in the cover.
 			r.Stats.TimedOut = true
 			if (candidates == nil || candidates[v]) && (resolved == nil || !resolved[v]) {
 				r.Cover = append(r.Cover, v)
 			}
 			continue
 		}
+		if filter != nil && idx >= batchedUpTo {
+			if probe.nextStretch(filter.Stats.EdgeScans + scalarFilter.Stats.EdgeScans) {
+				batchWindow(idx)
+			} else {
+				batchedUpTo = stretchEnd(idx)
+			}
+		}
 		if candidates != nil && !candidates[v] {
 			active.Activate(v) // provably on no cycle: never in the cover
+			if frank != nil {
+				frank[v] = 0 // the filter graph tracks the working graph
+			}
 			continue
 		}
 		r.Stats.Checked++
 		if resolved != nil && resolved[v] {
-			// Pre-resolved by the prepass: no constrained cycle through v
-			// in its prefix graph, hence none in the working graph G0+v,
-			// which is a subgraph of it.
+			// Pre-resolved by the prepass or the batched filter: no
+			// constrained cycle through v in a superset of the working
+			// graph G0+v, hence none in G0+v itself.
 			active.Activate(v)
+			if frank != nil {
+				frank[v] = 0
+			}
 			continue
 		}
 		active.Activate(v)
+		if frank != nil {
+			frank[v] = 0
+		}
 		necessary := false
-		if filter != nil && filter.CanPrune(v) {
-			// Proven: no constrained cycle through v in G0. Not necessary.
+		if scalarFilter != nil && scalarFilter.CanPrune(v) {
+			// Proven on the exact working graph: no constrained cycle
+			// through v in G0. Not necessary.
 			r.Stats.FilterPruned++
 		} else {
 			necessary = det.HasCycleThrough(v)
 			if plainDet != nil && plainDet.WasAborted() {
-				// Inconclusive: keep v in the cover (always safe) and
-				// flag the timeout.
+				// Inconclusive: keep v in the cover (always safe) and flag
+				// the timeout.
 				necessary = true
 				r.Stats.TimedOut = true
 			}
@@ -132,6 +334,9 @@ func topDown(g *digraph.Graph, algo Algorithm, opts Options, rs *runScratch) *Re
 		if necessary {
 			r.Cover = append(r.Cover, v)
 			active.Deactivate(v)
+			if frank != nil {
+				frank[v] = rankExcluded
+			}
 		}
 	}
 
@@ -144,6 +349,9 @@ func topDown(g *digraph.Graph, algo Algorithm, opts Options, rs *runScratch) *Re
 	}
 	if filter != nil {
 		r.Stats.Detector.Add(filter.Stats)
+	}
+	if scalarFilter != nil {
+		r.Stats.Detector.Add(scalarFilter.Stats)
 	}
 	finishStats(r, g, algo, opts, start)
 	return r

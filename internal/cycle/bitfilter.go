@@ -1,0 +1,578 @@
+package cycle
+
+import (
+	"math/bits"
+
+	"tdb/internal/digraph"
+)
+
+// BatchWidth is the lane capacity of the bit-parallel batched BFS filters:
+// one uint64 word packs this many concurrent single-source BFS traversals.
+const BatchWidth = 64
+
+// BatchBFSFilter is the bit-parallel batched form of BFSFilter: it answers
+// up to BatchWidth CanPrune queries with ONE bidirectional level-synchronous
+// BFS. Each source occupies one bit lane of a uint64 word; a vertex's lane
+// word records which sources' traversals have settled it, and every edge
+// scan ORs the scanning vertex's lane word into its successor — 64
+// queue-driven traversals collapse into word-wide sweeps whose edge
+// expansions are shared by all lanes on the same frontier.
+//
+// The traversal meets in the middle. The scalar filter asks "is any
+// IN-NEIGHBOR of s reachable from s within k-1 hops" — a forward search of
+// depth k-1 against a backward radius of one. The batched filter balances
+// the radii: a closed walk of length <= k through s exists if and only if
+// some vertex is settled by a forward search within ceil(k/2) hops AND a
+// backward search (following in-edges) within floor(k/2) hops — split the
+// walk in the middle. Both searches advance one level at a time, smaller
+// frontier first; a lane whose forward and backward settlements MEET has
+// its closed walk and retires unpruned on the spot (the scalar filter's
+// early return, per lane), a lane whose level-1 backward frontier is empty
+// has no in-neighbor and retires pruned, and the sweep stops the moment
+// every lane is decided. Keeping both frontiers shallow is where the win
+// over depth-(k-1) forward search comes from; the answer is EXACTLY the
+// scalar filter's, per lane, because both predicates are "shortest closed
+// walk <= k". (Early frontier death only strengthens this: a side that
+// exhausts before its depth cap has settled its complete reachable set, so
+// the other side's cap alone bounds the meet.)
+//
+// Each level runs in two phases. EXPAND is a branch-free OR-scatter: for
+// every frontier vertex u, the word of lanes that newly reached u is OR-ed
+// into the pending word of each neighbor — no membership, settled or meet
+// checks in the inner loop. CONSOLIDATE then walks the (deduplicated)
+// pending vertices once: drops non-members, masks off lanes that already
+// settled the vertex in this direction, retires lanes that meet the other
+// direction's settlements, and compacts the survivors into the next
+// frontier.
+//
+// Like BFSFilter it carries both working-graph backends — an active mask
+// over the CSR rows or a digraph.ActiveAdjacency view — via the shared
+// adjacency layer, and both are retained, so activation changes between
+// batches are visible to later batches.
+type BatchBFSFilter struct {
+	adjacency
+	k int
+
+	s *Scratch // lane group: reachedF/reachedB, frontiers, touched
+
+	Stats Stats
+}
+
+// NewBatchBFSFilter creates a batched filter for hop constraint k over the
+// subgraph induced by active (nil = whole graph). The active slice is
+// retained.
+func NewBatchBFSFilter(g *digraph.Graph, k int, active []bool) *BatchBFSFilter {
+	return NewBatchBFSFilterWith(g, k, active, nil)
+}
+
+// NewBatchBFSFilterWith is NewBatchBFSFilter borrowing the lane buffers from
+// s (nil allocates fresh scratch). See Scratch for the sharing rules.
+func NewBatchBFSFilterWith(g *digraph.Graph, k int, active []bool, s *Scratch) *BatchBFSFilter {
+	if active != nil && len(active) != g.NumVertices() {
+		panic("cycle: BatchBFSFilter active mask length mismatch")
+	}
+	if k < 2 {
+		panic("cycle: BatchBFSFilter needs k >= 2")
+	}
+	return &BatchBFSFilter{
+		adjacency: maskAdjacency(g, active), k: k,
+		s: checkScratch(s, g.NumVertices()),
+	}
+}
+
+// NewBatchBFSFilterView is NewBatchBFSFilterWith over an active-adjacency
+// working-graph view instead of a mask: each sweep then expands exactly the
+// live edges. The view is retained.
+func NewBatchBFSFilterView(view *digraph.ActiveAdjacency, k int, s *Scratch) *BatchBFSFilter {
+	if k < 2 {
+		panic("cycle: BatchBFSFilter needs k >= 2")
+	}
+	return &BatchBFSFilter{
+		adjacency: viewAdjacency(view), k: k,
+		s: checkScratch(s, view.Len()),
+	}
+}
+
+// CanPruneBatch sets pruned[i] to BFSFilter.CanPrune(sources[i]) for every
+// source; len(pruned) must equal len(sources). Batches wider than
+// BatchWidth are processed in consecutive 64-lane words.
+//
+// Stats accounting: Queries and BFSPruned count per lane, exactly as a
+// scalar query loop would; BFSVisited counts per-lane FORWARD settlements
+// (one vertex settled by three lanes counts three); EdgeScans counts
+// physical adjacency reads in both directions, each serving every lane on
+// the frontier word.
+func (f *BatchBFSFilter) CanPruneBatch(sources []VID, pruned []bool) {
+	if len(sources) != len(pruned) {
+		panic("cycle: BatchBFSFilter sources/pruned length mismatch")
+	}
+	for len(sources) > BatchWidth {
+		f.pruneWord(sources[:BatchWidth], pruned[:BatchWidth])
+		sources, pruned = sources[BatchWidth:], pruned[BatchWidth:]
+	}
+	if len(sources) > 0 {
+		f.pruneWord(sources, pruned)
+	}
+}
+
+// VisitUnpruned sweeps every vertex of [0, n) through the filter in words
+// of BatchWidth and calls visit for each vertex it cannot prune. A false
+// return from visit stops the sweep; VisitUnpruned reports whether the
+// sweep ran to completion. This is the shared shape of the
+// filter-then-detector loops (HasHopConstrainedCycle and friends).
+func (f *BatchBFSFilter) VisitUnpruned(n int, visit func(VID) bool) bool {
+	var batch [BatchWidth]VID
+	var pruned [BatchWidth]bool
+	for lo := 0; lo < n; lo += BatchWidth {
+		w := min(BatchWidth, n-lo)
+		for i := 0; i < w; i++ {
+			batch[i] = VID(lo + i)
+		}
+		f.CanPruneBatch(batch[:w], pruned[:w])
+		for i := 0; i < w; i++ {
+			if !pruned[i] && !visit(VID(lo+i)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// pruneWord answers one word of at most BatchWidth sources.
+func (f *BatchBFSFilter) pruneWord(sources []VID, pruned []bool) {
+	f.Stats.Batches++
+	f.Stats.Queries += int64(len(sources))
+	reachedF, reachedB, fr := f.s.laneBuffers()
+	curF, nextF, curB, nextB := fr[0], fr[1], fr[2], fr[3]
+	touched := f.s.touched[:0]
+	var edgeScans int64
+
+	// Seed both directions at the sources. A lane's own bits guard both
+	// sweeps against re-settling their source, which also keeps the source
+	// from ever counting as its own meeting point (the scalar filter's
+	// w != s rule).
+	var alive uint64
+	for i, src := range sources {
+		pruned[i] = false
+		if !f.startActive(src) {
+			pruned[i] = true
+			f.Stats.BFSPruned++
+			continue
+		}
+		bit := uint64(1) << uint(i)
+		alive |= bit
+		if reachedF.Words[src] == 0 && reachedB.Words[src] == 0 {
+			touched = append(touched, src)
+		}
+		reachedF.Words[src] |= bit
+		reachedB.Words[src] |= bit
+		curF.Push(src, bit)
+		curB.Push(src, bit)
+	}
+
+	bmax := f.k / 2
+	fmax := f.k - bmax
+	fdist, bdist := 0, 0
+	for alive != 0 {
+		// Advance the smaller live frontier, within its depth cap; the
+		// backward side breaks ties so level-1 in-neighbor marks come
+		// first.
+		back := bdist < bmax && curB.Len() > 0 &&
+			(fdist >= fmax || curF.Len() == 0 || curB.Len() <= curF.Len())
+		if !back && (fdist >= fmax || curF.Len() == 0) {
+			break
+		}
+		var cur, next *digraph.LaneFrontier
+		var settled, marks *digraph.Bitset64
+		if back {
+			bdist++
+			cur, next, settled, marks = curB, nextB, reachedB, reachedF
+		} else {
+			fdist++
+			cur, next, settled, marks = curF, nextF, reachedF, reachedB
+		}
+
+		// Expand: an OR-scatter whose only per-edge checks are the frontier
+		// dedup and the meet test. The meet test is what preserves the
+		// scalar filter's fail-fast behavior: a lane that touches a vertex
+		// the opposite sweep has settled is retired mid-row, so words
+		// whose lanes all hit quickly (the dense late-loop regime) stop
+		// after a handful of scans instead of completing the level. The
+		// opposite side's settlements are already membership-filtered, so
+		// the test needs no mask of its own.
+		for _, u := range cur.Verts {
+			lanes := cur.Bits.Words[u] & alive
+			if lanes == 0 {
+				continue
+			}
+			var row []VID
+			if back {
+				row = f.in(u)
+			} else {
+				row = f.out(u)
+			}
+			edgeScans += int64(len(row))
+			for _, w := range row {
+				// Self-loops never extend a walk the scalar filter would
+				// count (a settled vertex re-settling itself), and at a
+				// SOURCE a self-loop would meet the lane's own seed mark;
+				// skip them, as the scalar filter's w != s / visited
+				// checks do.
+				if w == u {
+					continue
+				}
+				// On the view path every scanned w is live; only the mask
+				// filters, keeping non-members out of the scatter.
+				if f.active != nil && !f.active[w] {
+					continue
+				}
+				if h := lanes & marks.Words[w]; h != 0 {
+					// Meet: a closed walk of length <= fdist+bdist <= k.
+					alive &^= h
+					lanes &^= h
+					if lanes == 0 {
+						break
+					}
+				}
+				if next.Bits.Words[w] == 0 {
+					next.Verts = append(next.Verts, w)
+				}
+				next.Bits.Words[w] |= lanes
+			}
+			if alive == 0 {
+				break
+			}
+		}
+
+		// Consolidate the pending vertices into the next frontier.
+		kept := next.Verts[:0]
+		var got uint64
+		for _, w := range next.Verts {
+			pend := next.Bits.Words[w]
+			next.Bits.Words[w] = 0
+			// On the view path every scanned w is live; only the mask
+			// filters.
+			if f.active != nil && !f.active[w] {
+				continue
+			}
+			add := pend & alive &^ settled.Words[w]
+			if add == 0 {
+				continue
+			}
+			if h := add & marks.Words[w]; h != 0 {
+				// Lanes h meet the opposite sweep at w: a closed walk of
+				// length fdist+bdist <= k exists. Retire them unpruned.
+				alive &^= h
+				add &^= h
+				if add == 0 {
+					continue
+				}
+			}
+			if settled.Words[w] == 0 && marks.Words[w] == 0 {
+				touched = append(touched, w)
+			}
+			settled.Words[w] |= add
+			got |= add
+			if !back {
+				f.Stats.BFSVisited += int64(bits.OnesCount64(add))
+			}
+			next.Bits.Words[w] = add
+			kept = append(kept, w)
+		}
+		next.Verts = kept
+		cur.Clear()
+		if back {
+			curB, nextB = next, cur
+		} else {
+			curF, nextF = next, cur
+		}
+
+		if back && bdist == 1 {
+			// A lane that settled nothing at backward level 1 has no
+			// active in-neighbor: no walk can close, prune immediately.
+			for i := range sources {
+				bit := uint64(1) << uint(i)
+				if alive&bit != 0 && got&bit == 0 {
+					alive &^= bit
+					pruned[i] = true
+					f.Stats.BFSPruned++
+				}
+			}
+		}
+	}
+	f.Stats.EdgeScans += edgeScans
+
+	// Lanes still alive never met: every closed walk through their source
+	// is longer than k, so the source is pruned.
+	for i := range sources {
+		if alive&(uint64(1)<<uint(i)) != 0 {
+			pruned[i] = true
+			f.Stats.BFSPruned++
+		}
+	}
+
+	// Return the lane buffers zeroed, clearing only what was touched.
+	curF.Clear()
+	nextF.Clear()
+	curB.Clear()
+	nextB.Clear()
+	reachedF.ClearList(touched)
+	reachedB.ClearList(touched)
+	f.s.touched = touched[:0]
+}
+
+// BatchPrefixFilter is BatchBFSFilter specialized to PREFIX subgraphs of a
+// fixed candidate order, the batched counterpart of PrefixFilter: lane i
+// runs on the subgraph induced by {v : pos[v] <= pos[sources[i]]} — each
+// source's OWN prefix, exactly the graph the scalar prepass queried it on,
+// so batching changes neither the resolution set nor any downstream cover.
+//
+// Per-lane prefixes cost one extra trick: sources must arrive in ascending
+// position order (the candidate-order scan produces exactly that), which
+// makes the lanes eligible to settle a vertex w — those with
+// pos[source] >= pos[w] — a SUFFIX of the word, found by a short binary
+// search over the word's source positions once per consolidated vertex and
+// applied as one AND.
+//
+// As with PrefixFilter vs BFSFilter, the sweep body duplicates
+// BatchBFSFilter.pruneWord rather than sharing a predicate-parameterized
+// helper: the membership test sits in the hottest loop of the whole cover
+// computation, and an indirect call there is measurable. The copies are
+// pinned together by the bitfilter property tests; change them in lockstep.
+type BatchPrefixFilter struct {
+	g   *digraph.Graph
+	k   int
+	pos []int32 // pos[v] = rank of v in the candidate order
+
+	srcPos [BatchWidth]int32 // positions of the current word's sources
+
+	s *Scratch // lane group: reachedF/reachedB, frontiers, touched
+
+	Stats Stats
+}
+
+// NewBatchPrefixFilterWith creates a batched prefix filter for hop
+// constraint k over the order described by pos, borrowing the lane buffers
+// from s (nil allocates fresh scratch). The pos slice is retained; it must
+// not change during a CanPruneBatch call, but a single-goroutine owner may
+// rewrite entries between calls (the top-down loop tracks its working graph
+// that way). Concurrent filters may share one pos array as long as nobody
+// writes it (the prepass does).
+func NewBatchPrefixFilterWith(g *digraph.Graph, k int, pos []int32, s *Scratch) *BatchPrefixFilter {
+	f := &BatchPrefixFilter{}
+	f.Reinit(g, k, pos, s)
+	return f
+}
+
+// Reinit re-targets a (possibly pooled) filter in place — the effect of
+// NewBatchPrefixFilterWith without the allocation. Stats restart at zero.
+func (f *BatchPrefixFilter) Reinit(g *digraph.Graph, k int, pos []int32, s *Scratch) {
+	if len(pos) != g.NumVertices() {
+		panic("cycle: BatchPrefixFilter pos length mismatch")
+	}
+	if k < 2 {
+		panic("cycle: BatchPrefixFilter needs k >= 2")
+	}
+	*f = BatchPrefixFilter{
+		g: g, k: k, pos: pos,
+		s: checkScratch(s, g.NumVertices()),
+	}
+}
+
+// CanPruneBatch sets pruned[i] to PrefixFilter.CanPrune(sources[i],
+// pos[sources[i]]) for every source: each lane runs on its own source's
+// prefix subgraph. Sources must be ordered by ascending position (the
+// candidate-order scan produces exactly that); batches wider than
+// BatchWidth are processed in consecutive 64-lane words.
+func (f *BatchPrefixFilter) CanPruneBatch(sources []VID, pruned []bool) {
+	if len(sources) != len(pruned) {
+		panic("cycle: BatchPrefixFilter sources/pruned length mismatch")
+	}
+	for len(sources) > BatchWidth {
+		f.pruneWord(sources[:BatchWidth], pruned[:BatchWidth])
+		sources, pruned = sources[BatchWidth:], pruned[BatchWidth:]
+	}
+	if len(sources) > 0 {
+		f.pruneWord(sources, pruned)
+	}
+}
+
+// eligibleFrom returns the word of lanes allowed to settle a vertex at
+// position p — those with srcPos >= p, a suffix of the word since srcPos is
+// ascending. Binary search over at most BatchWidth positions.
+func eligibleFrom(srcPos []int32, p int32) uint64 {
+	lo, hi := 0, len(srcPos)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if srcPos[mid] >= p {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	if lo >= BatchWidth {
+		return 0
+	}
+	return ^uint64(0) << uint(lo)
+}
+
+// pruneWord answers one word of at most BatchWidth sources. The body
+// mirrors BatchBFSFilter.pruneWord with per-lane prefix membership
+// pos[w] <= pos[source] enforced at consolidation.
+func (f *BatchPrefixFilter) pruneWord(sources []VID, pruned []bool) {
+	f.Stats.Batches++
+	f.Stats.Queries += int64(len(sources))
+	reachedF, reachedB, fr := f.s.laneBuffers()
+	curF, nextF, curB, nextB := fr[0], fr[1], fr[2], fr[3]
+	touched := f.s.touched[:0]
+	var edgeScans int64
+
+	srcPos := f.srcPos[:len(sources)]
+	var alive uint64
+	for i, src := range sources {
+		pruned[i] = false
+		p := f.pos[src]
+		if i > 0 && p < srcPos[i-1] {
+			panic("cycle: BatchPrefixFilter sources not in ascending position order")
+		}
+		srcPos[i] = p
+		bit := uint64(1) << uint(i)
+		alive |= bit
+		if reachedF.Words[src] == 0 && reachedB.Words[src] == 0 {
+			touched = append(touched, src)
+		}
+		reachedF.Words[src] |= bit
+		reachedB.Words[src] |= bit
+		curF.Push(src, bit)
+		curB.Push(src, bit)
+	}
+	// Vertices beyond the widest lane's prefix are ineligible for EVERY
+	// lane; one compare against this bound keeps them out of the scatter
+	// entirely (the per-lane suffix masks then refine at consolidation).
+	maxLimit := srcPos[len(srcPos)-1]
+
+	bmax := f.k / 2
+	fmax := f.k - bmax
+	fdist, bdist := 0, 0
+	for alive != 0 {
+		back := bdist < bmax && curB.Len() > 0 &&
+			(fdist >= fmax || curF.Len() == 0 || curB.Len() <= curF.Len())
+		if !back && (fdist >= fmax || curF.Len() == 0) {
+			break
+		}
+		var cur, next *digraph.LaneFrontier
+		var settled, marks *digraph.Bitset64
+		if back {
+			bdist++
+			cur, next, settled, marks = curB, nextB, reachedB, reachedF
+		} else {
+			fdist++
+			cur, next, settled, marks = curF, nextF, reachedF, reachedB
+		}
+
+		for _, u := range cur.Verts {
+			lanes := cur.Bits.Words[u] & alive
+			if lanes == 0 {
+				continue
+			}
+			var row []VID
+			if back {
+				row = f.g.In(u)
+			} else {
+				row = f.g.Out(u)
+			}
+			edgeScans += int64(len(row))
+			for _, w := range row {
+				// Self-loops never extend a walk (see BatchBFSFilter).
+				if w == u || f.pos[w] > maxLimit {
+					continue
+				}
+				// Mid-row meet test; the opposite side's settlements are
+				// already eligibility-filtered, so no mask is needed here.
+				if h := lanes & marks.Words[w]; h != 0 {
+					alive &^= h
+					lanes &^= h
+					if lanes == 0 {
+						break
+					}
+				}
+				if next.Bits.Words[w] == 0 {
+					next.Verts = append(next.Verts, w)
+				}
+				next.Bits.Words[w] |= lanes
+			}
+			if alive == 0 {
+				break
+			}
+		}
+
+		kept := next.Verts[:0]
+		var got uint64
+		minLimit := srcPos[0]
+		for _, w := range next.Verts {
+			pend := next.Bits.Words[w]
+			next.Bits.Words[w] = 0
+			add := pend & alive &^ settled.Words[w]
+			// Vertices below the narrowest lane's prefix (the bulk of the
+			// prefix graph) are eligible for every lane; only the window
+			// between the word's limits needs the suffix search.
+			if p := f.pos[w]; p > minLimit {
+				add &= eligibleFrom(srcPos, p)
+			}
+			if add == 0 {
+				continue
+			}
+			if h := add & marks.Words[w]; h != 0 {
+				alive &^= h
+				add &^= h
+				if add == 0 {
+					continue
+				}
+			}
+			if settled.Words[w] == 0 && marks.Words[w] == 0 {
+				touched = append(touched, w)
+			}
+			settled.Words[w] |= add
+			got |= add
+			if !back {
+				f.Stats.BFSVisited += int64(bits.OnesCount64(add))
+			}
+			next.Bits.Words[w] = add
+			kept = append(kept, w)
+		}
+		next.Verts = kept
+		cur.Clear()
+		if back {
+			curB, nextB = next, cur
+		} else {
+			curF, nextF = next, cur
+		}
+
+		if back && bdist == 1 {
+			for i := range sources {
+				bit := uint64(1) << uint(i)
+				if alive&bit != 0 && got&bit == 0 {
+					alive &^= bit
+					pruned[i] = true
+					f.Stats.BFSPruned++
+				}
+			}
+		}
+	}
+	f.Stats.EdgeScans += edgeScans
+
+	for i := range sources {
+		if alive&(uint64(1)<<uint(i)) != 0 {
+			pruned[i] = true
+			f.Stats.BFSPruned++
+		}
+	}
+
+	curF.Clear()
+	nextF.Clear()
+	curB.Clear()
+	nextB.Clear()
+	reachedF.ClearList(touched)
+	reachedB.ClearList(touched)
+	f.s.touched = touched[:0]
+}

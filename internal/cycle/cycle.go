@@ -9,6 +9,10 @@
 //     used by TDB+ and TDB++.
 //   - BFSFilter: the paper's BFS-filter (Alg. 11), a linear-time test that
 //     soundly proves the absence of any constrained cycle through a vertex.
+//   - BatchBFSFilter / BatchPrefixFilter: the bit-parallel batched form of
+//     the BFS-filter — up to 64 sources packed into one uint64 lane word,
+//     answered by a single level-synchronous sweep (the cover algorithms'
+//     default pruning path).
 //   - Enumerator: a bounded enumeration of all constrained cycles, used as a
 //     test oracle and by the DARC baseline.
 //
@@ -40,17 +44,23 @@ type VID = digraph.VID
 // self-loops and 2-cycles are not considered cycles.
 const DefaultMinLen = 3
 
-// Stats aggregates work counters across detector queries. Counters are plain
-// ints because every algorithm in this repository is single-threaded, as in
-// the paper.
+// Stats aggregates work counters across detector queries. Counters are
+// plain ints — NOT atomics — under a single-writer discipline: each
+// detector or filter instance is owned by one goroutine and counts into its
+// own Stats, and parallel callers (the TDB++ prepass, the SCC-partitioned
+// solver) merge the per-worker values into the run's aggregate with Add
+// under their own synchronization (a mutex around the merge, or a
+// post-Wait fold). Never share one Stats value between concurrently
+// querying instances.
 type Stats struct {
-	Queries     int64 // detector invocations
+	Queries     int64 // detector invocations (per lane, for batched filters)
 	Pushes      int64 // DFS stack pushes
 	EdgeScans   int64 // adjacency entries examined
 	Unblocks    int64 // Unblock propagation steps (block detector only)
 	CyclesFound int64 // queries that found a constrained cycle
-	BFSVisited  int64 // vertices settled by the BFS filter
-	BFSPruned   int64 // queries the BFS filter pruned
+	BFSVisited  int64 // vertices settled by the BFS filter (per lane)
+	BFSPruned   int64 // queries the BFS filter pruned (per lane)
+	Batches     int64 // word-wide sweeps of the batched BFS filters
 }
 
 // Add accumulates o into s.
@@ -62,6 +72,7 @@ func (s *Stats) Add(o Stats) {
 	s.CyclesFound += o.CyclesFound
 	s.BFSVisited += o.BFSVisited
 	s.BFSPruned += o.BFSPruned
+	s.Batches += o.Batches
 }
 
 func validate(g *digraph.Graph, k, minLen int, active []bool) {

@@ -3,6 +3,8 @@ package cycle
 import (
 	"fmt"
 	"sync"
+
+	"tdb/internal/digraph"
 )
 
 // Scratch owns the O(n) working state the detection primitives need: the
@@ -11,16 +13,20 @@ import (
 // repeated queries (and repeated whole covers over the same graph)
 // allocation-free; ScratchPool makes that reuse safe across goroutines.
 //
-// The buffers split into two independent groups:
+// The buffers split into three independent groups:
 //
 //   - the DFS group (onPath, blocked, stamp, path), used by PlainDetector,
 //     BlockDetector and Enumerator;
-//   - the BFS group (visited, inNbr, queue, nextQ), used by BFSFilter.
+//   - the BFS group (visited, inNbr, queue, nextQ), used by BFSFilter and
+//     PrefixFilter;
+//   - the lane group (reached, hitLanes, frontierA/B), used by
+//     BatchBFSFilter and BatchPrefixFilter; allocated lazily on first use,
+//     so scalar-only workloads never pay its 4 words per vertex.
 //
 // One Scratch may therefore back at most ONE component of each group at a
-// time — e.g. a BlockDetector plus a BFSFilter, the exact pair the top-down
-// cover interleaves — but never two detectors, or a detector and an
-// enumerator, concurrently. Scratch is not safe for concurrent use; give
+// time — e.g. a BlockDetector plus a BatchBFSFilter, the exact pair the
+// top-down cover interleaves — but never two detectors, or a detector and
+// an enumerator, concurrently. Scratch is not safe for concurrent use; give
 // each worker its own (see ScratchPool).
 type Scratch struct {
 	n int
@@ -37,6 +43,12 @@ type Scratch struct {
 	inNbr   epochMark
 	queue   []VID
 	nextQ   []VID
+
+	// Lane group (lazy).
+	reachedF  *digraph.Bitset64        // forward-settled lane words
+	reachedB  *digraph.Bitset64        // backward-settled lane words
+	frontiers [4]*digraph.LaneFrontier // cur/next per direction
+	touched   []VID                    // vertices with non-zero reached words
 }
 
 // NewScratch allocates scratch state for graphs with n vertices.
@@ -53,6 +65,21 @@ func NewScratch(n int) *Scratch {
 
 // Len returns the number of vertices the scratch is sized for.
 func (s *Scratch) Len() int { return s.n }
+
+// laneBuffers returns the lane group, allocating it on first use: the two
+// settlement maps of the bidirectional batched BFS plus a cur/next frontier
+// pair per direction. The word arrays are handed over zeroed and must come
+// back zeroed (the filters clear exactly the entries they touched).
+func (s *Scratch) laneBuffers() (reachedF, reachedB *digraph.Bitset64, frontiers [4]*digraph.LaneFrontier) {
+	if s.reachedF == nil {
+		s.reachedF = digraph.NewBitset64(s.n)
+		s.reachedB = digraph.NewBitset64(s.n)
+		for i := range s.frontiers {
+			s.frontiers[i] = digraph.NewLaneFrontier(s.n)
+		}
+	}
+	return s.reachedF, s.reachedB, s.frontiers
+}
 
 // checkScratch validates a borrowed scratch against the graph size,
 // allocating a fresh one when the caller passed nil.

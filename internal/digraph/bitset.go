@@ -1,0 +1,73 @@
+package digraph
+
+// This file holds the word-packed primitives behind bit-parallel multi-source
+// BFS (cycle.BatchBFSFilter): Bitset64 maps every vertex to a 64-lane word,
+// and LaneFrontier is one BFS level whose members each carry such a word.
+//
+// Both are FLAT arrays, not epoch-stamped maps: the lane word of a vertex is
+// read and written in the innermost loop of the batched filters, where a
+// stamp check per access is measurable, so a plain load wins — the owner
+// zeroes exactly the entries it touched afterwards (the filters track their
+// touched vertices anyway: frontier lists and seed lists). Exported fields
+// keep those hot accesses free of call overhead; treat them as the
+// representation they are.
+
+// Bitset64 maps each vertex to a 64-bit lane word. The zero word means "no
+// lane": owners must return every touched entry to zero (ClearList) before
+// reuse.
+type Bitset64 struct {
+	Words []uint64
+}
+
+// NewBitset64 returns a lane map over n vertices, all words zero.
+func NewBitset64(n int) *Bitset64 {
+	return &Bitset64{Words: make([]uint64, n)}
+}
+
+// Len returns the number of vertices the map covers.
+func (b *Bitset64) Len() int { return len(b.Words) }
+
+// ClearList zeroes the words of the given vertices — O(len(verts)), the
+// owner's touched set, instead of O(n).
+func (b *Bitset64) ClearList(verts []VID) {
+	for _, v := range verts {
+		b.Words[v] = 0
+	}
+}
+
+// LaneFrontier is one level of a bit-parallel BFS: a set of vertices, each
+// carrying the word of lanes that arrived at it on this level. Push
+// deduplicates vertices through the word itself (first lanes in = list
+// entry), so a level's edge expansion appends each vertex once no matter
+// how many lanes arrive.
+type LaneFrontier struct {
+	Verts []VID
+	Bits  Bitset64
+}
+
+// NewLaneFrontier returns an empty frontier over n vertices.
+func NewLaneFrontier(n int) *LaneFrontier {
+	return &LaneFrontier{Bits: Bitset64{Words: make([]uint64, n)}}
+}
+
+// Push merges lanes into v's word, adding v to the vertex list on first
+// contact. Pushing an empty lane word is a no-op.
+func (f *LaneFrontier) Push(v VID, lanes uint64) {
+	if lanes == 0 {
+		return
+	}
+	if f.Bits.Words[v] == 0 {
+		f.Verts = append(f.Verts, v)
+	}
+	f.Bits.Words[v] |= lanes
+}
+
+// Len returns the number of distinct vertices on the frontier.
+func (f *LaneFrontier) Len() int { return len(f.Verts) }
+
+// Clear zeroes the listed vertices' words and empties the list, leaving the
+// frontier ready for reuse in O(frontier size).
+func (f *LaneFrontier) Clear() {
+	f.Bits.ClearList(f.Verts)
+	f.Verts = f.Verts[:0]
+}

@@ -1,0 +1,41 @@
+package digraph
+
+import "testing"
+
+func TestBitset64ClearList(t *testing.T) {
+	b := NewBitset64(8)
+	if b.Len() != 8 {
+		t.Fatalf("Len = %d, want 8", b.Len())
+	}
+	b.Words[2] |= 0b101
+	b.Words[5] |= 1 << 63
+	b.ClearList([]VID{2, 5, 3}) // clearing an untouched vertex is a no-op
+	for v, w := range b.Words {
+		if w != 0 {
+			t.Fatalf("word %d = %b after ClearList, want 0", v, w)
+		}
+	}
+}
+
+func TestLaneFrontierPushDedupe(t *testing.T) {
+	f := NewLaneFrontier(6)
+	f.Push(3, 0b01)
+	f.Push(3, 0b10) // second push merges, no duplicate list entry
+	f.Push(1, 0b100)
+	f.Push(2, 0) // empty lane word: no-op
+	if f.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (vertex 3 deduplicated, empty push dropped)", f.Len())
+	}
+	if got := f.Bits.Words[3]; got != 0b11 {
+		t.Fatalf("lanes of vertex 3 = %b, want 11", got)
+	}
+	f.Clear()
+	if f.Len() != 0 || f.Bits.Words[3] != 0 || f.Bits.Words[1] != 0 {
+		t.Fatal("Clear left state behind")
+	}
+	// Reusable after Clear.
+	f.Push(3, 0b1000)
+	if f.Len() != 1 || f.Bits.Words[3] != 0b1000 {
+		t.Fatal("frontier not reusable after Clear")
+	}
+}

@@ -294,20 +294,17 @@ func FindCycle(g *Graph, k int, s VID) []VID {
 }
 
 // HasHopConstrainedCycle reports whether g contains any cycle of length in
-// [3, k]. For repeated queries use Engine.HasHopConstrainedCycle.
+// [3, k]. It prunes vertices with the bit-parallel batched BFS-filter (64
+// sources per sweep) and falls through to the paper's block-based detector
+// only for the survivors. For repeated queries use
+// Engine.HasHopConstrainedCycle.
 func HasHopConstrainedCycle(g *Graph, k int) bool {
 	sc := cycle.NewScratch(g.NumVertices()) // detector + filter share one scratch
 	det := cycle.NewBlockDetectorWith(g, k, cycle.DefaultMinLen, nil, sc)
-	filter := cycle.NewBFSFilterWith(g, k, nil, sc)
-	for v := 0; v < g.NumVertices(); v++ {
-		if filter.CanPrune(VID(v)) {
-			continue
-		}
-		if det.HasCycleThrough(VID(v)) {
-			return true
-		}
-	}
-	return false
+	filter := cycle.NewBatchBFSFilterWith(g, k, nil, sc)
+	return !filter.VisitUnpruned(g.NumVertices(), func(v VID) bool {
+		return !det.HasCycleThrough(v) // a found cycle stops the sweep
+	})
 }
 
 // EnumerateCycles lists every cycle of length in [3, k], each once, calling
