@@ -405,15 +405,86 @@ func BenchmarkPrepassSingleSCC(b *testing.B) {
 	}
 }
 
+// maintainerStream is the shared power-law churn workload of the dynamic
+// benchmarks: a right-skewed edge stream over 10k vertices, the shape of
+// the paper's fraud-transfer traffic.
+func maintainerStream() []Edge {
+	return GenPowerLaw(10_000, 60_000, 2.2, 0.3, 13).Edges()
+}
+
 // BenchmarkMaintainerInsert measures amortized dynamic insertion cost with
-// cover maintenance (the incremental alternative to recomputation).
+// cover maintenance (the incremental alternative to recomputation) on the
+// power-law churn workload.
 func BenchmarkMaintainerInsert(b *testing.B) {
-	const n = 10_000
-	m := NewMaintainer(n, 5, 3)
+	stream := maintainerStream()
+	m := NewMaintainer(10_000, 5, 3)
+	j := 0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		u := VID(i*2654435761) % n
-		v := VID(i*40503+1) % n
-		m.InsertEdge(u, v)
+		if j == len(stream) {
+			b.StopTimer()
+			m = NewMaintainer(10_000, 5, 3)
+			j = 0
+			b.StartTimer()
+		}
+		e := stream[j]
+		j++
+		m.InsertEdge(e.U, e.V)
+	}
+}
+
+// BenchmarkMaintainerInsertBatch is the same stream applied through
+// ApplyBatch in 256-update batches: deferred queries answered by 64-lane
+// bit-parallel BFS sweeps. One op is one batch.
+func BenchmarkMaintainerInsertBatch(b *testing.B) {
+	const batch = 256
+	stream := maintainerStream()
+	ups := make([]Update, len(stream))
+	for i, e := range stream {
+		ups[i] = InsertOp(e.U, e.V)
+	}
+	m := NewMaintainer(10_000, 5, 3)
+	j := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if j+batch > len(ups) {
+			b.StopTimer()
+			m = NewMaintainer(10_000, 5, 3)
+			j = 0
+			b.StartTimer()
+		}
+		m.ApplyBatch(ups[j : j+batch])
+		j += batch
+	}
+}
+
+// BenchmarkMaintainerChurn measures steady-state mixed traffic: ~70%
+// inserts, ~30% deletes of earlier edges, with a dirty-region Reminimize
+// every 4096 updates. One op is one update (Reminimize cost amortized in).
+func BenchmarkMaintainerChurn(b *testing.B) {
+	stream := maintainerStream()
+	// A deterministic churn script: inserts walk the stream; every third
+	// step deletes the edge inserted 64 steps earlier.
+	m := NewMaintainer(10_000, 5, 3)
+	j := 0
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if j == len(stream) {
+			b.StopTimer()
+			m = NewMaintainer(10_000, 5, 3)
+			j = 0
+			b.StartTimer()
+		}
+		if i%3 == 2 && j >= 64 {
+			e := stream[j-64]
+			m.DeleteEdge(e.U, e.V)
+		} else {
+			e := stream[j]
+			j++
+			m.InsertEdge(e.U, e.V)
+		}
+		if i%4096 == 4095 {
+			m.Reminimize()
+		}
 	}
 }

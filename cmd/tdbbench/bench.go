@@ -74,6 +74,11 @@ func runBenchSuite(dir string, budget time.Duration) (string, error) {
 	eng := tdb.NewEngine(g)
 	scalar := cycle.NewBFSFilter(plaw, 5, nil)
 	batch := cycle.NewBatchBFSFilter(plaw, 5, nil)
+	plawEdges := plaw.Edges()
+	plawUpdates := make([]tdb.Update, len(plawEdges))
+	for i, e := range plawEdges {
+		plawUpdates[i] = tdb.InsertOp(e.U, e.V)
+	}
 
 	suite := []struct {
 		name string
@@ -99,6 +104,32 @@ func runBenchSuite(dir string, budget time.Duration) (string, error) {
 		}},
 		{"HasHopConstrainedCycle/WKV", func() {
 			tdb.HasHopConstrainedCycle(g, 5)
+		}},
+		{"MaintainerInsert/powerlaw", func() {
+			m := tdb.NewMaintainer(plaw.NumVertices(), 5, 3)
+			for _, e := range plawEdges {
+				m.InsertEdge(e.U, e.V)
+			}
+		}},
+		{"MaintainerInsertBatch/powerlaw", func() {
+			m := tdb.NewMaintainer(plaw.NumVertices(), 5, 3)
+			for lo := 0; lo < len(plawUpdates); lo += 256 {
+				m.ApplyBatch(plawUpdates[lo:min(lo+256, len(plawUpdates))])
+			}
+		}},
+		{"MaintainerChurn/powerlaw", func() {
+			m := tdb.NewMaintainer(plaw.NumVertices(), 5, 3)
+			for i, e := range plawEdges {
+				m.InsertEdge(e.U, e.V)
+				if i%3 == 2 && i >= 64 {
+					d := plawEdges[i-64]
+					m.DeleteEdge(d.U, d.V)
+				}
+				if i%4096 == 4095 {
+					m.Reminimize()
+				}
+			}
+			m.Reminimize()
 		}},
 	}
 

@@ -61,7 +61,7 @@ func main() {
 	rng := rand.New(rand.NewPCG(72, 72))
 	start := time.Now()
 	grew := 0
-	for i := 0; i < stream; i++ {
+	for i := 0; i < stream/2; i++ {
 		// A slice of the stream involves brand-new accounts (IDs beyond the
 		// snapshot), interned by the maintainer on first sight.
 		u := acct(rng.IntN(accounts + accounts/10))
@@ -69,6 +69,22 @@ func main() {
 		if _, added := m.InsertEdge(u, v); added {
 			grew++
 		}
+	}
+	// The second half arrives the way a production ingest does: in bursts.
+	// ApplyBatch defers the cycle checks of each burst and answers them 64
+	// at a time with one bit-parallel BFS sweep.
+	const burst = 512
+	batch := make([]tdb.LabeledUpdate[string], 0, burst)
+	for i := stream / 2; i < stream; i += burst {
+		batch = batch[:0]
+		for j := 0; j < burst && i+j < stream; j++ {
+			batch = append(batch, tdb.LabeledUpdate[string]{
+				Op: tdb.UpdateInsert,
+				U:  acct(rng.IntN(accounts + accounts/10)),
+				V:  acct(rng.IntN(accounts + accounts/10)),
+			})
+		}
+		grew += len(m.ApplyBatch(batch))
 	}
 	elapsed := time.Since(start)
 	_, _, checks, _ := m.Stats()

@@ -58,6 +58,25 @@ func CoverParallel(g *Graph, algo Algorithm, k int, opts *Options, workers int) 
 // addressing vertices by external IDs.
 type Maintainer = dynamic.Maintainer
 
+// Update is one edge operation of a Maintainer.ApplyBatch batch; build
+// them with InsertOp and DeleteOp.
+type Update = dynamic.Update
+
+// UpdateOp selects the kind of an Update.
+type UpdateOp = dynamic.Op
+
+// The Update kinds.
+const (
+	UpdateInsert = dynamic.OpInsert
+	UpdateDelete = dynamic.OpDelete
+)
+
+// InsertOp returns an edge-insertion Update for ApplyBatch.
+func InsertOp(u, v VID) Update { return dynamic.InsertOp(u, v) }
+
+// DeleteOp returns an edge-deletion Update for ApplyBatch.
+func DeleteOp(u, v VID) Update { return dynamic.DeleteOp(u, v) }
+
 // NewMaintainer creates a dynamic cover maintainer over an initially empty
 // graph with n vertices, for cycles of length in [minLen, k].
 func NewMaintainer(n, k, minLen int) *Maintainer {
@@ -65,8 +84,9 @@ func NewMaintainer(n, k, minLen int) *Maintainer {
 }
 
 // MaintainerFromGraph seeds a maintainer with an existing graph and a valid
-// cover of it (typically from Solve).
-func MaintainerFromGraph(g *Graph, k, minLen int, cover []VID) *Maintainer {
+// cover of it (typically from Solve). A cover naming vertices outside the
+// graph is rejected with an error.
+func MaintainerFromGraph(g *Graph, k, minLen int, cover []VID) (*Maintainer, error) {
 	return dynamic.FromGraph(g, k, minLen, cover)
 }
 

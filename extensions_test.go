@@ -80,12 +80,37 @@ func TestMaintainerFacade(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m2 := MaintainerFromGraph(g, 4, 3, res.Cover)
+	m2, err := MaintainerFromGraph(g, 4, 3, res.Cover)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := VID(0); i < 100; i++ {
 		m2.InsertEdge(i%200, (i*7+1)%200)
 	}
 	rep2 := Verify(m2.Snapshot(), 4, 3, m2.Cover(), false)
 	if !rep2.Valid {
 		t.Fatal("maintained cover invalid after churn")
+	}
+
+	// A stale cover (vertices beyond the graph) is an error, not a panic.
+	if _, err := MaintainerFromGraph(g, 4, 3, []VID{10_000}); err == nil {
+		t.Fatal("out-of-range cover must be rejected")
+	}
+
+	// The batched surface: churn applied in one batch stays valid.
+	m3, err := MaintainerFromGraph(g, 4, 3, res.Cover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ups := make([]Update, 0, 120)
+	for i := VID(0); i < 100; i++ {
+		ups = append(ups, InsertOp(i%200, (i*7+1)%200))
+	}
+	for _, e := range g.Edges()[:20] {
+		ups = append(ups, DeleteOp(e.U, e.V))
+	}
+	m3.ApplyBatch(ups)
+	if rep := Verify(m3.Snapshot(), 4, 3, m3.Cover(), false); !rep.Valid {
+		t.Fatal("batched cover invalid after churn")
 	}
 }

@@ -97,7 +97,10 @@ func TestFromGraphSeed(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := FromGraph(g, 5, 3, res.Cover)
+	m, err := FromGraph(g, 5, 3, res.Cover)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if m.NumEdges() != 3 || m.CoverSize() != len(res.Cover) {
 		t.Fatal("seeding lost state")
 	}
@@ -163,7 +166,10 @@ func TestStaticSeedThenChurn(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := FromGraph(g, 4, 3, res.Cover)
+	m, err := FromGraph(g, 4, 3, res.Cover)
+	if err != nil {
+		t.Fatal(err)
+	}
 	for i := 0; i < 200; i++ {
 		m.InsertEdge(VID(rng.IntN(40)), VID(rng.IntN(40)))
 	}

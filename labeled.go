@@ -187,12 +187,16 @@ func (lg *LabeledGraph[K]) Maintainer(k, minLen int, cover []K) (*LabeledMaintai
 		}
 		dense[i] = v
 	}
+	m, err := MaintainerFromGraph(lg.g, k, minLen, dense)
+	if err != nil {
+		return nil, err
+	}
 	index := make(map[K]VID, len(lg.index))
 	for label, v := range lg.index {
 		index[label] = v
 	}
 	return &LabeledMaintainer[K]{
-		m:      MaintainerFromGraph(lg.g, k, minLen, dense),
+		m:      m,
 		index:  index,
 		labels: append([]K(nil), lg.labels...),
 	}, nil
@@ -242,6 +246,49 @@ func (lm *LabeledMaintainer[K]) InsertEdge(u, v K) (K, bool) {
 		return zero, false
 	}
 	return lm.labels[added], true
+}
+
+// LabeledUpdate is one edge operation of a LabeledMaintainer.ApplyBatch
+// batch, addressed by external IDs.
+type LabeledUpdate[K comparable] struct {
+	Op   UpdateOp
+	U, V K
+}
+
+// ApplyBatch applies the updates in order — interning labels first seen in
+// an insertion, ignoring deletions of unknown labels — and returns the
+// labels added to the cover, in the order they were added. Cycle-existence
+// queries for insertions between uncovered endpoints are deferred to the
+// end of the batch; large bursts of them are answered by bit-parallel
+// 64-lane BFS sweeps, small batches by the same bounded search as
+// InsertEdge (see Maintainer.ApplyBatch for the exact policy).
+func (lm *LabeledMaintainer[K]) ApplyBatch(updates []LabeledUpdate[K]) []K {
+	dense := make([]Update, 0, len(updates))
+	for _, up := range updates {
+		switch up.Op {
+		case UpdateInsert:
+			dense = append(dense, InsertOp(lm.intern(up.U), lm.intern(up.V)))
+		case UpdateDelete:
+			u, ok := lm.index[up.U]
+			if !ok {
+				continue
+			}
+			v, ok := lm.index[up.V]
+			if !ok {
+				continue
+			}
+			dense = append(dense, DeleteOp(u, v))
+		}
+	}
+	added := lm.m.ApplyBatch(dense)
+	if len(added) == 0 {
+		return nil
+	}
+	out := make([]K, len(added))
+	for i, v := range added {
+		out[i] = lm.labels[v]
+	}
+	return out
 }
 
 // DeleteEdge removes the edge from u to v if present, reporting whether it

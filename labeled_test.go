@@ -243,6 +243,42 @@ func TestLabeledMaintainerFlow(t *testing.T) {
 	}
 }
 
+// TestLabeledApplyBatch: the batched update surface by external IDs —
+// insertions intern new labels, deletions of unknown labels are no-ops,
+// and the returned additions are labels.
+func TestLabeledApplyBatch(t *testing.T) {
+	m := NewLabeledMaintainer[string](5, 3)
+	added := m.ApplyBatch([]LabeledUpdate[string]{
+		{Op: UpdateInsert, U: "p", V: "q"},
+		{Op: UpdateInsert, U: "q", V: "r"},
+		{Op: UpdateInsert, U: "r", V: "p"},
+		{Op: UpdateDelete, U: "never", V: "seen"},
+	})
+	if len(added) != 1 {
+		t.Fatalf("triangle batch added %v, want one label", added)
+	}
+	if added[0] != "p" && added[0] != "q" && added[0] != "r" {
+		t.Fatalf("cover label %q is not a triangle vertex", added[0])
+	}
+	if m.NumVertices() != 3 || m.NumEdges() != 3 || m.CoverSize() != 1 {
+		t.Fatalf("batch state n=%d m=%d cover=%d", m.NumVertices(), m.NumEdges(), m.CoverSize())
+	}
+	if rep := m.Verify(false); !rep.Valid {
+		t.Fatal("cover invalid after batch")
+	}
+	// Deleting the closing edge in a batch keeps validity; Reminimize
+	// sheds the redundant entry.
+	if got := m.ApplyBatch([]LabeledUpdate[string]{{Op: UpdateDelete, U: "r", V: "p"}}); got != nil {
+		t.Fatalf("delete batch added %v", got)
+	}
+	if shed := m.Reminimize(); shed != 1 {
+		t.Fatalf("shed %d, want 1", shed)
+	}
+	if rep := m.Verify(true); !rep.Valid || !rep.Minimal {
+		t.Fatalf("final state: %+v", rep)
+	}
+}
+
 // TestLabeledMaintainerRejectsForeignCover: seeding with labels outside the
 // graph is an error, not silent misattribution.
 func TestLabeledMaintainerRejectsForeignCover(t *testing.T) {
