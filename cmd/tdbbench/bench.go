@@ -137,7 +137,7 @@ func runBenchSuite(dir string, budget time.Duration) (string, error) {
 		Generated:        time.Now().UTC().Format(time.RFC3339),
 		GoVersion:        runtime.Version(),
 		GOMAXPROCS:       runtime.GOMAXPROCS(0),
-		FilterBatchWidth: cycle.BatchWidth,
+		FilterBatchWidth: cycle.MaxBatchWidth,
 		Benchmarks:       make(map[string]benchEntry, len(suite)),
 	}
 	for _, b := range suite {

@@ -1,0 +1,84 @@
+package main
+
+// The -compare mode: diff two BENCH_*.json reports (see bench.go) and
+// gate on regressions. This is how the perf trajectory is enforced rather
+// than merely recorded — CI keeps a committed baseline (bench/BASELINE.json)
+// and fails the build when a hot path slows past the threshold.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+)
+
+// loadBenchReport reads and decodes one BENCH_*.json file.
+func loadBenchReport(path string) (*benchReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep benchReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	if len(rep.Benchmarks) == 0 {
+		return nil, fmt.Errorf("%s: no benchmarks in report", path)
+	}
+	return &rep, nil
+}
+
+// compareReports prints a per-benchmark ns/op delta table between a
+// baseline and a new report, and returns an error naming every benchmark
+// that regressed by more than threshold (fractional: 0.10 fails a >10%
+// slowdown). Benchmarks present on only one side are listed but never
+// fail the gate — suites are allowed to grow and shrink.
+func compareReports(basePath, newPath string, threshold float64, w io.Writer) error {
+	base, err := loadBenchReport(basePath)
+	if err != nil {
+		return err
+	}
+	cur, err := loadBenchReport(newPath)
+	if err != nil {
+		return err
+	}
+
+	names := make([]string, 0, len(base.Benchmarks))
+	for name := range base.Benchmarks {
+		names = append(names, name)
+	}
+	for name := range cur.Benchmarks {
+		if _, ok := base.Benchmarks[name]; !ok {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+
+	fmt.Fprintf(w, "%-32s %14s %14s %9s\n", "benchmark", "base ns/op", "new ns/op", "delta")
+	var regressed []string
+	for _, name := range names {
+		b, inBase := base.Benchmarks[name]
+		c, inCur := cur.Benchmarks[name]
+		switch {
+		case !inCur:
+			fmt.Fprintf(w, "%-32s %14.0f %14s %9s\n", name, b.NsPerOp, "-", "removed")
+		case !inBase:
+			fmt.Fprintf(w, "%-32s %14s %14.0f %9s\n", name, "-", c.NsPerOp, "added")
+		default:
+			delta := c.NsPerOp/b.NsPerOp - 1
+			mark := ""
+			if delta > threshold {
+				mark = "  REGRESSION"
+				regressed = append(regressed, fmt.Sprintf("%s (+%.1f%%)", name, delta*100))
+			}
+			fmt.Fprintf(w, "%-32s %14.0f %14.0f %+8.1f%%%s\n", name, b.NsPerOp, c.NsPerOp, delta*100, mark)
+		}
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("%d benchmark(s) regressed past %.0f%%: %s",
+			len(regressed), threshold*100, strings.Join(regressed, ", "))
+	}
+	return nil
+}

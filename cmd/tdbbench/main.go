@@ -7,6 +7,7 @@
 //	tdbbench -exp all -scale 0.05       # the full evaluation
 //	tdbbench -list                       # show available experiments
 //	tdbbench -bench [-bench-out d]       # micro-bench suite -> BENCH_*.json
+//	tdbbench -compare base.json new.json # diff two reports, gate on regressions
 //
 // Timed-out runs print INF, like the paper's plots. Absolute numbers are
 // not comparable with the paper (synthetic stand-in data at reduced scale,
@@ -50,6 +51,8 @@ func run(args []string) error {
 		bench      = fs.Bool("bench", false, "run the micro-benchmark suite and write a BENCH_<timestamp>.json report")
 		benchOut   = fs.String("bench-out", ".", "directory for the -bench report")
 		benchTime  = fs.Duration("bench-time", 300*time.Millisecond, "per-benchmark time budget for -bench")
+		compare    = fs.Bool("compare", false, "compare two BENCH_*.json reports (baseline new) and fail on regressions")
+		threshold  = fs.Float64("threshold", 0.10, "fractional ns/op regression -compare tolerates per benchmark")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -57,6 +60,12 @@ func run(args []string) error {
 	if *list {
 		fmt.Println("experiments:", strings.Join(exp.Experiments(), " "), "all")
 		return nil
+	}
+	if *compare {
+		if fs.NArg() != 2 {
+			return fmt.Errorf("-compare wants exactly two report paths (baseline new), got %d", fs.NArg())
+		}
+		return compareReports(fs.Arg(0), fs.Arg(1), *threshold, os.Stdout)
 	}
 	if *bench {
 		path, err := runBenchSuite(*benchOut, *benchTime)

@@ -16,10 +16,13 @@ func TestStatRuns(t *testing.T) {
 	if err := run([]string{"-graph", path, "-k", "4"}); err != nil {
 		t.Fatal(err)
 	}
+	if err := run([]string{"-graph", path, "-k", "0", "-renumber", "all"}); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestStatErrors(t *testing.T) {
-	for i, args := range [][]string{{}, {"-graph", "/nope"}} {
+	for i, args := range [][]string{{}, {"-graph", "/nope"}, {"-graph", "/nope", "-renumber", "zorder"}} {
 		if err := run(args); err == nil {
 			t.Fatalf("case %d: expected error", i)
 		}

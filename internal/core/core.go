@@ -117,6 +117,17 @@ type Options struct {
 	// is a best-effort heuristic (the weighted problem inherits the
 	// unweighted NP-hardness), extension over the paper.
 	Weights []float64
+	// CandidateOrder, when non-nil, is the exact candidate processing
+	// sequence (a permutation of [0, n)) and overrides Order. The
+	// renumbering layer uses it to replay the ORIGINAL graph's candidate
+	// order on the locality-renumbered graph: the top-down family's cover
+	// is a function of the candidate sequence alone (its detector queries
+	// are yes/no questions with representation-independent answers), so
+	// replaying the order makes the renumbered cover map back exactly onto
+	// the unrenumbered one. BUR also honors the sequence, but its cover
+	// additionally depends on WHICH cycle the DFS finds per hit — an
+	// adjacency-order artifact no candidate sequence can pin down.
+	CandidateOrder []VID
 	// SCCPrefilter, when set, first computes strongly connected components
 	// and exempts every vertex outside non-trivial SCCs from cover
 	// candidacy (such vertices lie on no cycle of any length). This is an
@@ -196,6 +207,9 @@ func (o Options) validate(g *digraph.Graph) error {
 	if o.Order == OrderWeighted && o.Weights == nil {
 		return fmt.Errorf("core: OrderWeighted requires Options.Weights")
 	}
+	if o.CandidateOrder != nil && len(o.CandidateOrder) != g.NumVertices() {
+		return fmt.Errorf("core: CandidateOrder length %d != n %d", len(o.CandidateOrder), g.NumVertices())
+	}
 	return nil
 }
 
@@ -215,10 +229,11 @@ type Stats struct {
 	// proven in word-wide sweeps ahead of the per-candidate steps;
 	// Detector.Batches counts the sweeps.
 	FilterPruned int64
-	// FilterBatchWidth is the lane capacity of the bit-parallel batched
-	// BFS filter (cycle.BatchWidth on runs that used it, 0 otherwise):
-	// each of the run's Detector.Batches sweeps answered up to this many
-	// per-vertex pruning queries at once.
+	// FilterBatchWidth is the lane-group capacity the bit-parallel batched
+	// BFS filter was configured with (64, 256 or 512 — the widest group
+	// the run's chunk sizes could fill; 0 on runs without the batched
+	// filter): each of the run's Detector.Batches sweeps answered up to
+	// this many per-vertex pruning queries at once.
 	FilterBatchWidth int
 	// PrepassResolved counts candidates the parallel full-graph BFS-filter
 	// prepass resolved before the sequential loop (TDB++ with
@@ -234,6 +249,10 @@ type Stats struct {
 	// TimedOut marks a cancelled run; the cover is then incomplete.
 	TimedOut bool
 
+	// Renumbering names the cache-aware vertex renumbering mode the solve
+	// layer applied before the computation ("degree", "bfs"); empty when
+	// the graph ran in its input numbering.
+	Renumbering string
 	// Strategy names the execution strategy the planning layer selected
 	// for this run ("sequential", "scc-parallel", "prepass"); empty when a
 	// legacy entry point invoked the computation directly, below the

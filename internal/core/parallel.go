@@ -2,6 +2,7 @@ package core
 
 import (
 	"runtime"
+	"sort"
 	"sync"
 	"time"
 
@@ -60,6 +61,15 @@ func computeParallelWith(g *digraph.Graph, algo Algorithm, opts Options, workers
 			members[c] = append(members[c], VID(v))
 		}
 	}
+	// An explicit candidate order induces per-component orders: position
+	// index once, each job sorts its component's dense IDs by it.
+	var orderPos []int32
+	if opts.CandidateOrder != nil {
+		orderPos = make([]int32, g.NumVertices())
+		for i, v := range opts.CandidateOrder {
+			orderPos[v] = int32(i)
+		}
+	}
 	type job struct {
 		verts []VID
 	}
@@ -98,6 +108,19 @@ func computeParallelWith(g *digraph.Graph, algo Algorithm, opts Options, workers
 				}
 				subOpts := opts
 				subOpts.SCCPrefilter = false // already decomposed
+				if orderPos != nil {
+					// InducedSubgraph relabels monotonically, so dense ID i
+					// is oldID[i]; sorting the dense IDs by the global
+					// order's positions replays it inside the component.
+					so := make([]VID, len(oldID))
+					for i := range so {
+						so[i] = VID(i)
+					}
+					sort.Slice(so, func(a, b int) bool {
+						return orderPos[oldID[so[a]]] < orderPos[oldID[so[b]]]
+					})
+					subOpts.CandidateOrder = so
+				}
 				if opts.Weights != nil {
 					// Remap the cost vector to the component's dense IDs.
 					sw := make([]float64, sub.NumVertices())

@@ -4,6 +4,7 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"tdb/internal/cycle"
 	"tdb/internal/digraph"
@@ -27,8 +28,8 @@ import (
 // would make the single-worker prepass slower than the plain sequential
 // loop it replaces.)
 //
-// Queries run bit-parallel: each worker packs up to cycle.BatchWidth
-// consecutive candidates into one uint64 lane word and answers them with a
+// Queries run bit-parallel: each worker packs up to cycle.MaxBatchWidth
+// consecutive candidates into one lane group and answers them with a
 // single level-synchronous sweep (cycle.BatchPrefixFilter), each lane
 // confined to its own source's prefix, so the resolution mask is
 // bit-identical to per-vertex scalar queries — the in-loop filter, running
@@ -42,14 +43,15 @@ import (
 // gracefully to the sequential filter cost.
 
 // prepassChunk is the number of order positions a worker claims per atomic
-// increment: large enough to amortize the atomic (and to fill several
-// 64-lane words per claim), small enough to balance the position-dependent
-// query costs.
+// increment: large enough to amortize the atomic (and to fill one
+// MaxBatchWidth lane group per claim), small enough to balance the
+// position-dependent query costs.
 const prepassChunk = 512
 
-// prunedWord queries one word of candidates (ascending position order) and
-// marks the pruned lanes in resolved, returning how many it marked.
-func prunedWord(f *cycle.BatchPrefixFilter, batch []VID, prunedBuf []bool, resolved []bool) int64 {
+// prunedGroup queries one lane group of candidates (ascending position
+// order) and marks the pruned lanes in resolved, returning how many it
+// marked.
+func prunedGroup(f *cycle.BatchPrefixFilter, batch []VID, prunedBuf []bool, resolved []bool) int64 {
 	f.CanPruneBatch(batch, prunedBuf)
 	var pruned int64
 	for i, v := range batch {
@@ -81,14 +83,46 @@ func prepass(g *digraph.Graph, opts Options, order []VID, candidates []bool, sto
 		pos[v] = int32(i)
 	}
 
+	// The run's persistent WidthLadder (see cycle.WidthLadder and
+	// runScratch.widthLadders) adapts group widths — but only on the
+	// single-worker path. With workers oversubscribing the CPUs, a group's
+	// wall time mostly measures how often the scheduler preempted its
+	// goroutine, and verdicts from that noise are coin flips; parallel
+	// passes therefore run untimed at the ladder's committed width, and
+	// single-worker traffic (or the in-loop ladder) supplies the evidence.
+	_, ladder := rs.widthLadders(opts.K, n)
+	ladder.NewStream()
+	nextWidth := func() (int, bool) { return ladder.Next(), ladder.Adapting() }
+	observe := func(w int, d time.Duration, cands int) { ladder.Observe(w, d, cands) }
+	if workers > 1 {
+		w := ladder.Width()
+		nextWidth = func() (int, bool) { return w, false }
+		observe = nil
+	}
+
 	// scan resolves order positions [lo, hi) on one worker's filter, one
-	// word of up to cycle.BatchWidth candidates at a time; scanning by
-	// position yields the ascending order the per-lane prefixes require.
+	// lane group at a time; scanning by position yields the ascending order
+	// the per-lane prefixes require. Group widths follow the ladder: timed
+	// full groups at the committed width race groups at a neighboring one,
+	// and the sweep changes width only on a measured win, so the chunk size
+	// caps the width without dictating it.
 	scan := func(f *cycle.BatchPrefixFilter, lo, hi int) int64 {
 		var pruned int64
-		var batchBuf [cycle.BatchWidth]VID
-		var prunedBuf [cycle.BatchWidth]bool
+		var batchBuf [cycle.MaxBatchWidth]VID
+		var prunedBuf [cycle.MaxBatchWidth]bool
+		width, adapting := nextWidth()
 		nb := 0
+		flush := func() {
+			if adapting {
+				t0 := time.Now()
+				pruned += prunedGroup(f, batchBuf[:nb], prunedBuf[:nb], resolved)
+				observe(width, time.Since(t0), nb)
+			} else {
+				pruned += prunedGroup(f, batchBuf[:nb], prunedBuf[:nb], resolved)
+			}
+			nb = 0
+			width, adapting = nextWidth()
+		}
 		for p := lo; p < hi; p++ {
 			v := order[p]
 			if candidates != nil && !candidates[v] {
@@ -96,13 +130,12 @@ func prepass(g *digraph.Graph, opts Options, order []VID, candidates []bool, sto
 			}
 			batchBuf[nb] = v
 			nb++
-			if nb == cycle.BatchWidth {
-				pruned += prunedWord(f, batchBuf[:nb], prunedBuf[:nb], resolved)
-				nb = 0
+			if nb == width {
+				flush()
 			}
 		}
 		if nb > 0 {
-			pruned += prunedWord(f, batchBuf[:nb], prunedBuf[:nb], resolved)
+			flush()
 		}
 		return pruned
 	}
@@ -112,6 +145,7 @@ func prepass(g *digraph.Graph, opts Options, order []VID, candidates []bool, sto
 		// goroutines, no atomics — the cost is the filter queries the
 		// sequential loop is about to skip.
 		f := cycle.NewBatchPrefixFilterWith(g, opts.K, pos, rs.cyc)
+		f.SetLanes(prepassChunk) // cap: one claim chunk fills one widest group
 		var pruned int64
 		for lo := 0; lo < n; lo += prepassChunk {
 			if stop != nil && stop() {
@@ -139,6 +173,7 @@ func prepass(g *digraph.Graph, opts Options, order []VID, candidates []bool, sto
 				defer rs.cycPool.Put(sc)
 			}
 			f := cycle.NewBatchPrefixFilterWith(g, opts.K, pos, sc)
+			f.SetLanes(prepassChunk) // cap: one claim chunk fills one widest group
 			var pruned int64
 			for {
 				lo := int(next.Add(prepassChunk)) - prepassChunk

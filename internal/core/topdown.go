@@ -22,66 +22,94 @@ type working interface {
 	Deactivate(v VID) bool
 }
 
-// Tier-probe tuning: stretches per tier in a probe round, and committed
-// stretches before the choice is revisited. Small probe rounds keep the
-// worst case (the wrong tier probed on its worst stretches) bounded at a
-// few windows' worth of filter work.
+// Tier-probe tuning. A probe round charges alternating stretches to the two
+// tiers until each has decided tierProbeCands candidates (stretches differ
+// in size across tiers — a batch window can be MaxBatchWidth wide while a
+// scalar stretch is one word — so rounds are sized in candidates, not
+// stretches). The committed span starts at tierCommitStretches and doubles
+// every time a re-probe confirms the standing winner, capped at
+// tierCommitMax: on stable workloads — fast-hit graphs where the scalar
+// filter keeps winning — the loop stops paying for speculative batched
+// probe sweeps almost entirely, while a flipped winner resets the span so
+// the probe still tracks the crossover as the working graph fills.
 const (
-	tierProbeStretches  = 3
+	tierProbeCands      = 3 * cycle.BatchWidth
 	tierCommitStretches = 26
+	tierCommitMax       = 8 * tierCommitStretches
 )
 
 // tierProbe picks, by measurement, which filter tier answers a stretch of
 // candidates: the batched look-ahead or the scalar per-candidate filter.
-// Filter edge-scans are the signal — the detector's work is identical
-// under either tier (the decisions are the same), so scans are the whole
-// mode-dependent cost. Each probe round charges tierProbeStretches
-// alternating stretches to each tier, commits to the cheaper one for
-// tierCommitStretches, then re-probes, tracking the crossover as the
-// working graph fills.
+// Filter edge-scans per decided candidate are the signal — the detector's
+// work is identical under either tier (the decisions are the same), so
+// scans are the whole mode-dependent cost, and normalizing by candidates
+// lets a 512-wide batch stretch be compared against one-word scalar
+// stretches directly. Each probe round alternates stretches between the
+// tiers until both have decided tierProbeCands candidates, commits to the
+// cheaper one for an escalating span of stretches, then re-probes.
 type tierProbe struct {
 	started    bool
 	lastScans  int64
+	lastCands  int64
 	prevBatch  bool
 	scansB     int64 // probe-round scan totals per tier
 	scansS     int64
-	nB, nS     int
+	candsB     int64 // probe-round decided-candidate totals per tier
+	candsS     int64
 	commitLeft int
+	commitSpan int  // current span length; escalates while the winner repeats
+	lastWin    bool // winner of the previous completed probe round
+	haveWin    bool
 	useBatch   bool
 }
 
-// nextStretch closes the previous stretch (attributing its scans) and
-// reports whether the next stretch should use the batched tier.
-// scansSoFar is the running total of both filters' EdgeScans.
-func (p *tierProbe) nextStretch(scansSoFar int64) bool {
+// nextStretch closes the previous stretch (attributing its scans and
+// candidates) and reports whether the next stretch should use the batched
+// tier. scansSoFar is the running total of both filters' EdgeScans;
+// candsSoFar the running total of candidates assigned to stretches.
+func (p *tierProbe) nextStretch(scansSoFar, candsSoFar int64) bool {
 	if p.started {
-		delta := scansSoFar - p.lastScans
+		ds := scansSoFar - p.lastScans
+		dc := candsSoFar - p.lastCands
 		if p.commitLeft > 0 {
 			p.commitLeft--
 			if p.commitLeft == 0 { // committed span over: fresh probe round
-				p.scansB, p.scansS, p.nB, p.nS = 0, 0, 0, 0
+				p.scansB, p.scansS, p.candsB, p.candsS = 0, 0, 0, 0
 			}
 		} else if p.prevBatch {
-			p.scansB += delta
-			p.nB++
+			p.scansB += ds
+			p.candsB += dc
 		} else {
-			p.scansS += delta
-			p.nS++
+			p.scansS += ds
+			p.candsS += dc
 		}
 	}
 	p.started = true
 	p.lastScans = scansSoFar
+	p.lastCands = candsSoFar
 	switch {
 	case p.commitLeft > 0:
 		// keep the committed tier
-	case p.nB < tierProbeStretches || p.nS < tierProbeStretches:
+	case p.candsB < tierProbeCands && p.candsS < tierProbeCands:
 		p.useBatch = !p.prevBatch // alternate while probing (batch first)
+	case p.candsB < tierProbeCands:
+		p.useBatch = true // only the batch sample is still short
+	case p.candsS < tierProbeCands:
+		p.useBatch = false
 	default:
 		// A batched edge-scan costs ~4/3 of a scalar one (word merges and
-		// consolidation ride on it), so the batch tier must win on scans by
-		// at least that margin before it is worth committing to.
-		p.useBatch = p.scansB*4*int64(p.nS) <= p.scansS*3*int64(p.nB)
-		p.commitLeft = tierCommitStretches
+		// consolidation ride on it), so the batch tier must win on scans
+		// per decided candidate by at least that margin before it is worth
+		// committing to.
+		win := p.scansB*4*p.candsS <= p.scansS*3*p.candsB
+		if p.haveWin && win == p.lastWin {
+			p.commitSpan = min(2*p.commitSpan, tierCommitMax)
+		} else {
+			p.commitSpan = tierCommitStretches
+		}
+		p.haveWin, p.lastWin = true, win
+		p.useBatch = win
+		p.commitLeft = p.commitSpan
 	}
 	p.prevBatch = p.useBatch
 	return p.useBatch
@@ -176,7 +204,7 @@ func topDown(g *digraph.Graph, algo Algorithm, opts Options, rs *runScratch) *Re
 			frank = rs.filterRankBuf(g.NumVertices())
 			filter = &rs.bpf
 			filter.Reinit(g, opts.K, frank, rs.cyc)
-			r.Stats.FilterBatchWidth = cycle.BatchWidth
+			r.Stats.FilterBatchWidth = cycle.PickLanes(len(order))
 		}
 		// The prepass only pays off with real parallelism: at one effective
 		// worker it re-runs the filter queries the loop would run anyway,
@@ -188,14 +216,15 @@ func topDown(g *digraph.Graph, algo Algorithm, opts Options, rs *runScratch) *Re
 			resolved = prepass(g, opts, order, candidates, stop, &r.Stats, rs)
 			// The prepass answers its queries through the batched prefix
 			// filter on any path, one-shot included.
-			r.Stats.FilterBatchWidth = cycle.BatchWidth
+			r.Stats.FilterBatchWidth = cycle.PickLanes(prepassChunk)
 		} else if filter != nil {
 			resolved = rs.resolvedBuf(g.NumVertices())
 		}
 	}
 
 	// Batched in-loop pruning (TDB++), tier one of the filter: candidates
-	// are pruned in words of up to cycle.BatchWidth ahead of processing.
+	// are pruned in lane groups of up to cycle.MaxBatchWidth ahead of
+	// processing.
 	// Lane i's filter graph — G0 plus the window scanned up to its member —
 	// is a superset of the member's sequential working graph (it
 	// conservatively includes earlier window vertices the loop will move to
@@ -217,14 +246,15 @@ func topDown(g *digraph.Graph, algo Algorithm, opts Options, rs *runScratch) *Re
 	// re-probing periodically in case the answer changes as the working
 	// graph fills.
 	var (
-		batchBuf    [cycle.BatchWidth]VID
-		prunedBuf   [cycle.BatchWidth]bool
-		batchedUpTo int // order positions < batchedUpTo have been tier-assigned
-		probe       tierProbe
+		batchBuf     [cycle.MaxBatchWidth]VID
+		prunedBuf    [cycle.MaxBatchWidth]bool
+		batchedUpTo  int // order positions < batchedUpTo have been tier-assigned
+		stretchCands int64
+		probe        tierProbe
 	)
 	// stretchEnd returns the order position just past the next
-	// cycle.BatchWidth unresolved candidates — one stretch, the unit both
-	// tiers are probed and charged in.
+	// cycle.BatchWidth unresolved candidates — one scalar-tier stretch —
+	// counting them into stretchCands for the probe's normalization.
 	stretchEnd := func(start int) int {
 		seen := 0
 		j := start
@@ -234,12 +264,27 @@ func topDown(g *digraph.Graph, algo Algorithm, opts Options, rs *runScratch) *Re
 				seen++
 			}
 		}
+		stretchCands += int64(seen)
 		return j
 	}
+	// Window widths climb a WidthLadder capped by the order length: wide
+	// lane groups amortize each edge scan over up to cycle.MaxBatchWidth
+	// queries, but whether that beats narrow groups' tighter inner loop
+	// and smaller lane slabs is machine- and workload-dependent, so the
+	// ladder times the widths against each other and widens only on a
+	// measured win (see cycle.WidthLadder). The ladder persists in the
+	// pooled scratch: repeated engine runs start at the settled width.
+	var ladder *cycle.WidthLadder
+	if filter != nil {
+		ladder, _ = rs.widthLadders(opts.K, len(order))
+		ladder.NewStream()
+	}
 	batchWindow := func(start int) {
+		width := ladder.Next()
+		filter.SetLanes(width)
 		batch := batchBuf[:0]
 		j := start
-		for ; j < len(order) && len(batch) < cycle.BatchWidth; j++ {
+		for ; j < len(order) && len(batch) < width; j++ {
 			v := order[j]
 			// Rank everything scanned by window offset — non-candidates
 			// and resolved vertices join the working graph when the loop
@@ -250,11 +295,18 @@ func topDown(g *digraph.Graph, algo Algorithm, opts Options, rs *runScratch) *Re
 			}
 		}
 		batchedUpTo = j
+		stretchCands += int64(len(batch))
 		if len(batch) == 0 {
 			return
 		}
 		pruned := prunedBuf[:len(batch)]
-		filter.CanPruneBatch(batch, pruned)
+		if ladder.Adapting() {
+			t0 := time.Now()
+			filter.CanPruneBatch(batch, pruned)
+			ladder.Observe(width, time.Since(t0), len(batch))
+		} else {
+			filter.CanPruneBatch(batch, pruned)
+		}
 		for i, v := range batch {
 			if pruned[i] {
 				// Proven: no constrained cycle through v in lane i's filter
@@ -289,7 +341,7 @@ func topDown(g *digraph.Graph, algo Algorithm, opts Options, rs *runScratch) *Re
 			continue
 		}
 		if filter != nil && idx >= batchedUpTo {
-			if probe.nextStretch(filter.Stats.EdgeScans + scalarFilter.Stats.EdgeScans) {
+			if probe.nextStretch(filter.Stats.EdgeScans+scalarFilter.Stats.EdgeScans, stretchCands) {
 				batchWindow(idx)
 			} else {
 				batchedUpTo = stretchEnd(idx)

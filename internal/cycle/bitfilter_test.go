@@ -236,3 +236,111 @@ func TestBatchFilterViewTracksActivation(t *testing.T) {
 		}
 	}
 }
+
+// TestBatchBFSFilterWidthSweep is the wide-lane half of the tentpole's
+// equivalence property: for every supported lane-group width W (64, 256,
+// 512 lanes — the one-word body plus both wide strides), CanPruneBatch over
+// batches large enough to fill several groups must match the scalar filter
+// per lane, on both backends, including partial trailing groups.
+func TestBatchBFSFilterWidthSweep(t *testing.T) {
+	graphs := []struct {
+		name string
+		g    *digraph.Graph
+	}{
+		{"mid-700", bfRandomGraph(700, 2800, 11)},
+		{"selfloops-600", bfSelfLoopGraph(600, 2400, 12)},
+	}
+	for _, tc := range graphs {
+		n := tc.g.NumVertices()
+		for _, k := range []int{3, 5, 8} {
+			for _, lanes := range []int{64, 256, 512} {
+				t.Run(fmt.Sprintf("%s/k=%d/W=%d", tc.name, k, lanes), func(t *testing.T) {
+					rng := rand.New(rand.NewPCG(uint64(k*lanes), 99))
+					active := make([]bool, n)
+					for v := range active {
+						active[v] = rng.IntN(5) > 0
+					}
+					scalar := NewBFSFilter(tc.g, k, active)
+					batch := NewBatchBFSFilter(tc.g, k, active)
+					batch.SetLanes(lanes)
+					if batch.Lanes() != lanes {
+						t.Fatalf("Lanes = %d after SetLanes(%d)", batch.Lanes(), lanes)
+					}
+					// 600 sources: full wide groups plus a ragged tail at
+					// every width (600 = 512+88 = 2*256+88 = 9*64+24).
+					src := batchSources(rng, n, 600)
+					got := make([]bool, len(src))
+					batch.CanPruneBatch(src, got)
+					for i, s := range src {
+						if want := scalar.CanPrune(s); got[i] != want {
+							t.Fatalf("lane %d source %d: batch pruned=%v, scalar pruned=%v", i, s, got[i], want)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestBatchPrefixFilterWidthSweep is TestBatchBFSFilterWidthSweep for the
+// prefix filter: every width must reproduce the scalar per-lane prefix
+// answers, exercising the wide bodies' word-by-word suffix eligibility
+// masks across group-word boundaries.
+func TestBatchPrefixFilterWidthSweep(t *testing.T) {
+	g := bfRandomGraph(700, 2800, 13)
+	n := g.NumVertices()
+	for _, k := range []int{3, 5, 8} {
+		for _, lanes := range []int{64, 256, 512} {
+			t.Run(fmt.Sprintf("k=%d/W=%d", k, lanes), func(t *testing.T) {
+				rng := rand.New(rand.NewPCG(uint64(k), uint64(lanes)))
+				order := rng.Perm(n)
+				pos := make([]int32, n)
+				for p, v := range order {
+					pos[v] = int32(p)
+				}
+				sc := NewScratch(n)
+				scalar := NewPrefixFilterWith(g, k, pos, sc)
+				batch := NewBatchPrefixFilterWith(g, k, pos, sc)
+				batch.SetLanes(lanes)
+				// An ascending-position slice long enough for full wide
+				// groups plus a ragged tail.
+				src := make([]VID, 0, 600)
+				for p := 0; p < n && len(src) < 600; p += 1 + rng.IntN(2) {
+					src = append(src, VID(order[p]))
+				}
+				got := make([]bool, len(src))
+				batch.CanPruneBatch(src, got)
+				for i, s := range src {
+					if want := scalar.CanPrune(s, pos[s]); got[i] != want {
+						t.Fatalf("lane %d source %d: batch pruned=%v, scalar pruned=%v", i, s, got[i], want)
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestBatchFilterMixedWidthScratchReuse alternates widths on one shared
+// scratch: the per-width lane states must not contaminate each other, and a
+// filter re-capped mid-stream must keep answering exactly.
+func TestBatchFilterMixedWidthScratchReuse(t *testing.T) {
+	g := bfRandomGraph(640, 2600, 14)
+	n := g.NumVertices()
+	sc := NewScratch(n)
+	scalar := NewBFSFilter(g, 5, nil)
+	batch := NewBatchBFSFilterWith(g, 5, nil, sc)
+	src := make([]VID, n)
+	for v := range src {
+		src[v] = VID(v)
+	}
+	got := make([]bool, n)
+	for round, lanes := range []int{512, 64, 256, 512, 64} {
+		batch.SetLanes(lanes)
+		batch.CanPruneBatch(src, got)
+		for v, p := range got {
+			if want := scalar.CanPrune(VID(v)); p != want {
+				t.Fatalf("round %d (W=%d) source %d: batch=%v scalar=%v", round, lanes, v, p, want)
+			}
+		}
+	}
+}

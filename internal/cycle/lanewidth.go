@@ -1,0 +1,246 @@
+package cycle
+
+import "time"
+
+// Audit pacing of the WidthLadder: after every verdict the ladder commits
+// to the winning width for a span of candidates before re-racing it. A
+// confirmed verdict doubles the span (the workload looks stable, stop
+// paying challengers) and a decisive one jumps straight to the maximum; a
+// flipped verdict resets it (the trade-off just moved, look again soon).
+// The max is sized so that even a pathologically slow challenger group —
+// a saturated wide sweep can run an order of magnitude behind narrow on a
+// cache-bound graph — stays a sub-percent duty cycle: one such group per
+// ladderSpanMax candidates is one ~10ms ask per ~16 full 60k-vertex runs.
+const (
+	ladderSpan0   = 4 * MaxBatchWidth
+	ladderSpanMax = 512 * ladderSpan0
+)
+
+// WidthLadder picks a lane-group width for a stream of batched filter
+// groups by measurement. It repeatedly races the committed width against a
+// neighboring one in paired rounds: each round runs both arms over
+// ADJACENT stretches of the stream — equal candidate volume per arm, the
+// leading arm alternating between rounds — and the challenger takes over
+// only when it proves at least 10% faster per decided candidate. Between
+// rounds the ladder commits to the winner for an escalating span, so a
+// stable verdict costs a vanishing duty cycle while a workload whose
+// trade-off shifts mid-stream (see below) is re-audited soon after.
+//
+// Time per candidate — not edge scans — is the signal, unlike tierProbe's
+// scalar-versus-batch decision: a wider sweep SHARES physical edge reads
+// across more lanes, so its scan count per candidate always improves with
+// width even when the added words per scan make it slower in wall time.
+// Scans cannot rank widths; the clock can, and a group's span (tens to
+// hundreds of microseconds) is far above timer resolution. Whether wide
+// groups pay is a property of the machine as much as of the workload —
+// lane slabs grow 4-8x and compete with the CSR rows for cache — which is
+// exactly why the ladder measures instead of assuming (on a 2 MiB-L2 box,
+// 512 lanes lose the race on graphs where a large-cache machine wins).
+//
+// The paired-round structure exists because the width trade-off is NOT
+// constant across a run: prefix-confined sweeps cost almost nothing at
+// early order positions (per-sweep fixed work dominates, which wide
+// groups amortize) and grow toward the end (per-candidate word traffic
+// dominates, which wide groups inflate). Racing arms over far-apart
+// stretches conflates that drift with the width effect — a one-shot early
+// verdict then locks the expensive majority of the run to the width that
+// only looked good while prefixes were tiny. Adjacent stretches cancel
+// the drift within a round, and the escalating re-audits follow it across
+// the run. The ladder also discards the first group it ever sees: that
+// group pays the cold-cache cost of faulting the CSR and lane slabs in,
+// and would bias whichever arm was unlucky enough to go first.
+//
+// Per-lane answers are bit-identical at every width, so the ladder's
+// timing-dependent choices never change any caller-visible decision —
+// only counters like Stats.EdgeScans, which depend on how much sharing
+// each sweep achieved.
+//
+// Caller contract: whenever Adapting() reports true (check it after the
+// Next() call, which is what opens rounds), time the group and report it
+// with Observe(width, elapsed, packed), where width is what Next()
+// returned and packed is how many candidates were actually packed. The
+// ladder takes timing only from full groups; partial ones merely advance
+// a progress bound, so a round whose workload cannot fill the racing
+// width is abandoned in the incumbent's favor instead of stalling.
+// Long-lived callers (engines, maintainers) should keep a ladder across
+// runs over the same graph and hop constraint: the committed spans
+// persist, so steady-state traffic pays challenger rounds at the
+// escalated — not the initial — rate.
+type WidthLadder struct {
+	cap    int  // widest width the caller's chunk size can fill
+	cur    int  // committed width
+	warmed bool // first group ever observed is discarded (cold caches)
+
+	// Committed-span state: candidates left to run at cur before the next
+	// audit round, and the span the next verdict starts from.
+	left int
+	span int
+
+	// Audit-round state. An arm's timed count advances only on full
+	// groups; prog counts every packed candidate and bounds how long a
+	// round that cannot fill groups may drag on.
+	auditing   bool
+	trial      int  // challenger width of the current round
+	leadCur    bool // arm that runs first this round (alternates)
+	upNext     bool // middle incumbents alternate challenger direction
+	roundCands int64
+
+	curNS, trialNS       int64
+	curTimed, trialTimed int64
+	curProg, trialProg   int64
+}
+
+// NewWidthLadder returns a ladder capped at the width the caller's chunk
+// size can fill (see PickLanes). A one-word cap leaves the ladder
+// permanently settled at BatchWidth with no timing demands.
+func NewWidthLadder(chunk int) *WidthLadder {
+	return &WidthLadder{cap: PickLanes(chunk), cur: BatchWidth, span: ladderSpan0}
+}
+
+// Adapting reports whether the ladder is mid-round and needs the current
+// group timed; callers can skip the clock calls while it is false.
+func (l *WidthLadder) Adapting() bool { return l.auditing }
+
+// Width returns the committed width.
+func (l *WidthLadder) Width() int { return l.cur }
+
+// challenger picks the neighbor width the next round races cur against.
+// The edge widths have one neighbor each; the middle width alternates
+// between its two, biased upward right after an upward adoption so a
+// machine where wide wins climbs in two rounds.
+func (l *WidthLadder) challenger() int {
+	switch l.cur {
+	case BatchWidth, MaxBatchWidth:
+		return 4 * BatchWidth
+	default:
+		if l.upNext && l.cap >= MaxBatchWidth {
+			return MaxBatchWidth
+		}
+		return BatchWidth
+	}
+}
+
+// Next returns the width the next group should run at: the committed
+// width inside a span, otherwise whichever arm of the audit round still
+// owes timed candidates (the lead arm runs to quota first, then the
+// other, so the arms cover adjacent stretches). Next is what advances
+// spans and opens rounds, so consult Adapting after it, not before.
+func (l *WidthLadder) Next() int {
+	if l.cap <= BatchWidth {
+		return l.cur
+	}
+	if !l.auditing {
+		if l.left > 0 {
+			l.left -= l.cur
+			return l.cur
+		}
+		l.auditing = true
+		l.trial = l.challenger()
+		if l.cur != BatchWidth && l.cur != MaxBatchWidth {
+			l.upNext = !l.upNext
+		}
+		l.roundCands = int64(max(l.cur, l.trial))
+		l.curNS, l.trialNS = 0, 0
+		l.curTimed, l.trialTimed = 0, 0
+		l.curProg, l.trialProg = 0, 0
+		l.leadCur = !l.leadCur
+	}
+	lead, follow := l.trial, l.cur
+	leadTimed, followTimed := l.trialTimed, l.curTimed
+	if l.leadCur {
+		lead, follow = l.cur, l.trial
+		leadTimed, followTimed = l.curTimed, l.trialTimed
+	}
+	if leadTimed < l.roundCands {
+		return lead
+	}
+	if followTimed < l.roundCands {
+		return follow
+	}
+	return l.cur
+}
+
+// Observe reports one group run at the width Next returned, with its
+// sweep time and the number of candidates actually packed. Full groups
+// feed the arm's clock; partial ones only advance the progress bound.
+func (l *WidthLadder) Observe(width int, d time.Duration, cands int) {
+	if !l.auditing || cands == 0 {
+		return
+	}
+	if !l.warmed {
+		l.warmed = true
+		return
+	}
+	switch width {
+	case l.cur:
+		l.curProg += int64(cands)
+		if cands == width {
+			l.curNS += int64(d)
+			l.curTimed += int64(cands)
+		}
+	case l.trial:
+		l.trialProg += int64(cands)
+		if cands == width {
+			l.trialNS += int64(d)
+			l.trialTimed += int64(cands)
+		}
+	default:
+		return
+	}
+	if l.curTimed >= l.roundCands && l.trialTimed >= l.roundCands {
+		// Both arms fully timed. The 10% hysteresis margin always burdens
+		// the WIDER arm, whichever seat it holds: equal clocks mean the
+		// narrow arm wins, because its lane slabs are 4-8x smaller and the
+		// cache pressure they put on everything around the filter is the
+		// one cost the group's own timing cannot see. (Without that tilt a
+		// wide incumbent adopted on a drifting workload could hold its
+		// seat forever on ties against the middle width, with the one-word
+		// rung never even reachable.) A challenger losing by 50% or more
+		// also pushes the next audit all the way out — asking again soon
+		// cannot change the answer, and on workloads where a wide group is
+		// MANY times slower the ask itself is the dominant cost of having
+		// a ladder at all.
+		wideNS, wideT := l.trialNS, l.trialTimed
+		narrowNS, narrowT := l.curNS, l.curTimed
+		if l.trial < l.cur {
+			wideNS, wideT, narrowNS, narrowT = narrowNS, narrowT, wideNS, wideT
+		}
+		wideWins := wideNS*narrowT*10 <= narrowNS*wideT*9
+		adopt := wideWins == (l.trial > l.cur)
+		if !adopt && l.trialNS*l.curTimed*2 >= l.curNS*l.trialTimed*3 {
+			l.span = ladderSpanMax
+		}
+		l.settle(adopt)
+		return
+	}
+	if l.curProg >= 4*l.roundCands || l.trialProg >= 4*l.roundCands {
+		l.settle(false)
+	}
+}
+
+// NewStream tells the ladder its input stream restarted (a fresh run over
+// the graph): an in-flight round would otherwise pair its arms across the
+// boundary — end-of-stream groups against start-of-stream ones, the very
+// drift the adjacent-stretch design exists to cancel — so the round is
+// abandoned with no verdict and the committed span continues.
+func (l *WidthLadder) NewStream() {
+	if l.auditing {
+		l.auditing = false
+		l.left = l.span
+	}
+}
+
+// settle closes the audit round: an adopted challenger becomes the
+// committed width and the span resets (the trade-off just moved — look
+// again soon), while a confirmed incumbent doubles it.
+func (l *WidthLadder) settle(adopt bool) {
+	if adopt {
+		l.upNext = l.trial > l.cur
+		l.cur = l.trial
+		l.span = ladderSpan0
+	} else if l.span < ladderSpanMax {
+		l.span *= 2
+	}
+	l.auditing = false
+	l.left = l.span
+}

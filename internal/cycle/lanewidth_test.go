@@ -1,0 +1,152 @@
+package cycle
+
+import (
+	"testing"
+	"time"
+)
+
+// driveLadder runs the ladder against a synthetic workload for total
+// candidates: perCand returns the simulated per-candidate cost of a group
+// at the given width after `done` candidates have been processed. Every
+// group is full. It returns how many candidates ran at each width.
+func driveLadder(l *WidthLadder, total int, perCand func(width, done int) time.Duration) map[int]int {
+	ran := make(map[int]int)
+	done := 0
+	for done < total {
+		w := l.Next()
+		if l.Adapting() {
+			l.Observe(w, time.Duration(w)*perCand(w, done), w)
+		}
+		ran[w] += w
+		done += w
+	}
+	return ran
+}
+
+func TestWidthLadderInertBelowCap(t *testing.T) {
+	l := NewWidthLadder(BatchWidth) // chunk fills one word: nothing to race
+	for i := 0; i < 100; i++ {
+		if w := l.Next(); w != BatchWidth {
+			t.Fatalf("Next() = %d, want %d", w, BatchWidth)
+		}
+		if l.Adapting() {
+			t.Fatal("one-word ladder should never demand timing")
+		}
+	}
+}
+
+func TestWidthLadderClimbsWhenWideWins(t *testing.T) {
+	l := NewWidthLadder(MaxBatchWidth)
+	// Per-candidate cost halves with each widening: the ladder should
+	// adopt 256 and then 512 within a few rounds.
+	driveLadder(l, 64_000, func(width, _ int) time.Duration {
+		return time.Microsecond * 64 / time.Duration(width)
+	})
+	if l.Width() != MaxBatchWidth {
+		t.Fatalf("Width() = %d after wide-friendly stream, want %d", l.Width(), MaxBatchWidth)
+	}
+}
+
+func TestWidthLadderRejectsDecisiveLoser(t *testing.T) {
+	l := NewWidthLadder(MaxBatchWidth)
+	// Wide is 3x slower per candidate: the first round must reject it and
+	// push the next audit out to the escalated span, so the total exposure
+	// at wide widths over half a million candidates stays a single round.
+	ran := driveLadder(l, 500_000, func(width, _ int) time.Duration {
+		if width > BatchWidth {
+			return 300 * time.Nanosecond
+		}
+		return 100 * time.Nanosecond
+	})
+	if l.Width() != BatchWidth {
+		t.Fatalf("Width() = %d after narrow-friendly stream, want %d", l.Width(), BatchWidth)
+	}
+	wide := ran[4*BatchWidth] + ran[MaxBatchWidth]
+	if wide > 2*MaxBatchWidth {
+		t.Fatalf("ran %d candidates at wide widths, want <= one audit round (%d)", wide, 2*MaxBatchWidth)
+	}
+}
+
+func TestWidthLadderRevertsWhenTradeoffDrifts(t *testing.T) {
+	l := NewWidthLadder(MaxBatchWidth)
+	// Wide wins while the stream is cheap (small prefixes) and loses badly
+	// once it saturates — the drift the escalating re-audits exist to
+	// catch. The ladder may adopt wide early but must be back on one word
+	// well before the stream ends.
+	driveLadder(l, 200_000, func(width, done int) time.Duration {
+		if done < 3_000 {
+			if width > BatchWidth {
+				return 50 * time.Nanosecond
+			}
+			return 100 * time.Nanosecond
+		}
+		if width > BatchWidth {
+			return 2 * time.Microsecond
+		}
+		return 500 * time.Nanosecond
+	})
+	if l.Width() != BatchWidth {
+		t.Fatalf("Width() = %d after drifting stream, want %d", l.Width(), BatchWidth)
+	}
+}
+
+func TestWidthLadderDiscardsColdFirstGroup(t *testing.T) {
+	l := NewWidthLadder(MaxBatchWidth)
+	// The very first group pays cold caches and measures 50x slow. If it
+	// were charged to its arm, the incumbent would lose the opening round
+	// to the challenger on that artifact alone.
+	first := true
+	driveLadder(l, 100_000, func(width, _ int) time.Duration {
+		if first {
+			first = false
+			return 5 * time.Microsecond
+		}
+		if width > BatchWidth {
+			return 150 * time.Nanosecond
+		}
+		return 100 * time.Nanosecond
+	})
+	if l.Width() != BatchWidth {
+		t.Fatalf("Width() = %d, want %d: cold first group should be discarded", l.Width(), BatchWidth)
+	}
+}
+
+func TestWidthLadderNewStreamAbortsRound(t *testing.T) {
+	l := NewWidthLadder(MaxBatchWidth)
+	w := l.Next()
+	if !l.Adapting() {
+		t.Fatal("fresh ladder should open a round on the first Next")
+	}
+	l.Observe(w, time.Millisecond, w) // warm-up discard
+	l.Observe(l.Next(), time.Millisecond, l.Next())
+	l.NewStream()
+	if l.Adapting() {
+		t.Fatal("NewStream should abandon the in-flight round")
+	}
+	if l.Width() != BatchWidth {
+		t.Fatalf("Width() = %d, want unchanged %d", l.Width(), BatchWidth)
+	}
+}
+
+func TestWidthLadderAbandonsUnfillableRound(t *testing.T) {
+	l := NewWidthLadder(MaxBatchWidth)
+	// The workload never packs more than 100 candidates, so the wide arm
+	// can never time a full group; the round must end in the incumbent's
+	// favor via the progress bound instead of demanding timing forever.
+	for i := 0; i < 1_000 && !func() bool {
+		w := l.Next()
+		if !l.Adapting() {
+			return true
+		}
+		packed := min(w, 100)
+		l.Observe(w, time.Duration(packed)*100*time.Nanosecond, packed)
+		return false
+	}(); i++ {
+	}
+	if l.Adapting() {
+		t.Fatal("round with chronically partial groups never settled")
+	}
+	if l.Width() != BatchWidth {
+		t.Fatalf("Width() = %d, want incumbent %d", l.Width(), BatchWidth)
+	}
+}

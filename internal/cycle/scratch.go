@@ -19,9 +19,10 @@ import (
 //     BlockDetector and Enumerator;
 //   - the BFS group (visited, inNbr, queue, nextQ), used by BFSFilter and
 //     PrefixFilter;
-//   - the lane group (reached, hitLanes, frontierA/B), used by
-//     BatchBFSFilter and BatchPrefixFilter; allocated lazily on first use,
-//     so scalar-only workloads never pay its 4 words per vertex.
+//   - the lane group (settlement maps plus cur/next frontiers per
+//     direction), used by BatchBFSFilter and BatchPrefixFilter; allocated
+//     lazily PER LANE WIDTH on first use, so scalar-only workloads never pay
+//     for lane state and 64-lane workloads never pay for the wide groups.
 //
 // One Scratch may therefore back at most ONE component of each group at a
 // time — e.g. a BlockDetector plus a BatchBFSFilter, the exact pair the
@@ -44,11 +45,48 @@ type Scratch struct {
 	queue   []VID
 	nextQ   []VID
 
-	// Lane group (lazy).
-	reachedF  *digraph.Bitset64        // forward-settled lane words
-	reachedB  *digraph.Bitset64        // backward-settled lane words
+	// Lane group (lazy, one state per supported lane width).
+	lanes1  *laneState // one-word groups (64 lanes)
+	lanes4  *laneState // four-word groups (256 lanes)
+	lanes8  *laneState // eight-word groups (512 lanes)
+	touched []VID      // vertices with non-zero reached groups
+}
+
+// laneState is the per-width lane buffer set of the batched filters: the two
+// settlement maps of the bidirectional BFS plus a cur/next frontier pair per
+// direction. The slabs are handed over zeroed and must come back zeroed
+// (the filters clear exactly the entries they touched); the touched list is
+// shared across widths through Scratch, which is safe because one Scratch
+// backs at most one batched sweep at a time.
+type laneState struct {
+	reachedF  *digraph.LaneBits        // forward-settled lane groups
+	reachedB  *digraph.LaneBits        // backward-settled lane groups
 	frontiers [4]*digraph.LaneFrontier // cur/next per direction
-	touched   []VID                    // vertices with non-zero reached words
+}
+
+// laneStateFor returns the lane state for nw-word groups (nw in {1, 4, 8}),
+// allocating it on first use.
+func (s *Scratch) laneStateFor(nw int) *laneState {
+	var p **laneState
+	switch nw {
+	case 1:
+		p = &s.lanes1
+	case 4:
+		p = &s.lanes4
+	default:
+		p = &s.lanes8
+	}
+	if *p == nil {
+		st := &laneState{
+			reachedF: digraph.NewLaneBits(s.n, nw),
+			reachedB: digraph.NewLaneBits(s.n, nw),
+		}
+		for i := range st.frontiers {
+			st.frontiers[i] = digraph.NewLaneFrontier(s.n, nw)
+		}
+		*p = st
+	}
+	return *p
 }
 
 // NewScratch allocates scratch state for graphs with n vertices.
@@ -65,21 +103,6 @@ func NewScratch(n int) *Scratch {
 
 // Len returns the number of vertices the scratch is sized for.
 func (s *Scratch) Len() int { return s.n }
-
-// laneBuffers returns the lane group, allocating it on first use: the two
-// settlement maps of the bidirectional batched BFS plus a cur/next frontier
-// pair per direction. The word arrays are handed over zeroed and must come
-// back zeroed (the filters clear exactly the entries they touched).
-func (s *Scratch) laneBuffers() (reachedF, reachedB *digraph.Bitset64, frontiers [4]*digraph.LaneFrontier) {
-	if s.reachedF == nil {
-		s.reachedF = digraph.NewBitset64(s.n)
-		s.reachedB = digraph.NewBitset64(s.n)
-		for i := range s.frontiers {
-			s.frontiers[i] = digraph.NewLaneFrontier(s.n)
-		}
-	}
-	return s.reachedF, s.reachedB, s.frontiers
-}
 
 // checkScratch validates a borrowed scratch against the graph size,
 // allocating a fresh one when the caller passed nil.

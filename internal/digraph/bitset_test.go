@@ -1,24 +1,49 @@
 package digraph
 
-import "testing"
+import (
+	"fmt"
+	"testing"
+)
 
-func TestBitset64ClearList(t *testing.T) {
-	b := NewBitset64(8)
-	if b.Len() != 8 {
-		t.Fatalf("Len = %d, want 8", b.Len())
+func TestLaneBitsClearList(t *testing.T) {
+	for _, nw := range []int{1, 4, 8} {
+		t.Run(fmt.Sprintf("nw=%d", nw), func(t *testing.T) {
+			b := NewLaneBits(8, nw)
+			if b.Len() != 8 || b.WordsPerGroup() != nw {
+				t.Fatalf("Len/WordsPerGroup = %d/%d, want 8/%d", b.Len(), b.WordsPerGroup(), nw)
+			}
+			b.Group(2)[0] |= 0b101
+			b.Group(5)[nw-1] |= 1 << 63
+			b.ClearList([]VID{2, 5, 3}) // clearing an untouched vertex is a no-op
+			for i, w := range b.Words {
+				if w != 0 {
+					t.Fatalf("word %d = %b after ClearList, want 0", i, w)
+				}
+			}
+		})
 	}
-	b.Words[2] |= 0b101
-	b.Words[5] |= 1 << 63
-	b.ClearList([]VID{2, 5, 3}) // clearing an untouched vertex is a no-op
-	for v, w := range b.Words {
+}
+
+func TestLaneBitsClearListBulkCutover(t *testing.T) {
+	// A touched list past the crossover takes the bulk clear() path. Owners
+	// guarantee the list covers every nonzero group, so the observable
+	// contract is the same on both paths: every group is zero afterwards.
+	b := NewLaneBits(16, 4)
+	verts := make([]VID, 0, 16)
+	for v := range 16 {
+		b.Group(VID(v))[v%4] = 1 << uint(v)
+		verts = append(verts, VID(v))
+	}
+	b.ClearList(verts) // 16*4*8 >= 64: bulk path
+	for i, w := range b.Words {
 		if w != 0 {
-			t.Fatalf("word %d = %b after ClearList, want 0", v, w)
+			t.Fatalf("word %d nonzero after bulk ClearList", i)
 		}
 	}
 }
 
 func TestLaneFrontierPushDedupe(t *testing.T) {
-	f := NewLaneFrontier(6)
+	f := NewLaneFrontier(6, 1)
 	f.Push(3, 0b01)
 	f.Push(3, 0b10) // second push merges, no duplicate list entry
 	f.Push(1, 0b100)
@@ -37,5 +62,83 @@ func TestLaneFrontierPushDedupe(t *testing.T) {
 	f.Push(3, 0b1000)
 	if f.Len() != 1 || f.Bits.Words[3] != 0b1000 {
 		t.Fatal("frontier not reusable after Clear")
+	}
+}
+
+func TestLaneFrontierPushGroupWide(t *testing.T) {
+	f := NewLaneFrontier(4, 8)
+	lanes := make([]uint64, 8)
+	lanes[4] = 1 << 44 // lane 300
+	f.PushGroup(1, lanes)
+	lanes[4] = 0
+	lanes[7] = 1 << 63 // lane 511: merges, no duplicate entry
+	f.PushGroup(1, lanes)
+	f.PushGroup(2, make([]uint64, 8)) // all-zero group: no-op
+	if f.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", f.Len())
+	}
+	if g := f.Bits.Group(1); g[4] != 1<<44 || g[7] != 1<<63 {
+		t.Fatalf("merged group wrong: %v", g)
+	}
+	f.Clear()
+	for _, w := range f.Bits.Group(1) {
+		if w != 0 {
+			t.Fatal("Clear left wide state behind")
+		}
+	}
+}
+
+// BenchmarkLaneBitsClear measures the ClearList crossover between the
+// touched-list path and the bulk clear() path that clearListDivisor pins.
+// List sizes are swept as fractions of n; the "hot" variants first write
+// every listed entry — the filters' actual pattern, where ClearList runs
+// right after a sweep that populated those exact lines — while the "cold"
+// variants clear with no prior writes in the measured loop. Cold scattered
+// clears lose to memclr from about n/8; hot ones break even there and only
+// clearly lose near n. The production divisor sits at the conservative end
+// of that range because in situ the memclr additionally evicts the sweep's
+// other hot state, which no isolated micro-bench can price (see
+// clearListDivisor).
+func BenchmarkLaneBitsClear(b *testing.B) {
+	const n = 1 << 16
+	fracs := []struct {
+		name string
+		den  int
+	}{{"n_64", 64}, {"n_16", 16}, {"n_8", 8}, {"n_4", 4}, {"n_1", 1}}
+	for _, f := range fracs {
+		verts := make([]VID, n/f.den)
+		for i := range verts {
+			// Spread the touched vertices across the slab the way a BFS
+			// frontier would, not as one dense prefix.
+			verts[i] = VID((i * 2654435761) % n)
+		}
+		b.Run("cold-list/"+f.name, func(b *testing.B) {
+			bs := NewLaneBits(n, 1)
+			for b.Loop() {
+				for _, v := range verts {
+					bs.Words[v] = 0
+				}
+			}
+		})
+		b.Run("hot-list/"+f.name, func(b *testing.B) {
+			bs := NewLaneBits(n, 1)
+			for b.Loop() {
+				for _, v := range verts {
+					bs.Words[v] = 1
+				}
+				for _, v := range verts {
+					bs.Words[v] = 0
+				}
+			}
+		})
+		b.Run("hot-bulk/"+f.name, func(b *testing.B) {
+			bs := NewLaneBits(n, 1)
+			for b.Loop() {
+				for _, v := range verts {
+					bs.Words[v] = 1
+				}
+				clear(bs.Words)
+			}
+		})
 	}
 }

@@ -1,0 +1,130 @@
+package digraph
+
+import (
+	"math/rand/v2"
+	"testing"
+)
+
+func randomRenumberGraph(n, m int, seed uint64) *Graph {
+	rng := rand.New(rand.NewPCG(seed, seed^0x9e3779b97f4a7c15))
+	b := NewBuilder(n)
+	for i := 0; i < m; i++ {
+		b.AddEdge(VID(rng.IntN(n)), VID(rng.IntN(n)))
+	}
+	return b.Build()
+}
+
+// edgeSet canonicalizes a graph's edges mapped through a permutation.
+func edgeSet(g *Graph, perm []VID) map[Edge]bool {
+	set := make(map[Edge]bool, g.NumEdges())
+	for _, e := range g.Edges() {
+		set[Edge{perm[e.U], perm[e.V]}] = true
+	}
+	return set
+}
+
+func checkPermutation(t *testing.T, perm []VID) {
+	t.Helper()
+	seen := make([]bool, len(perm))
+	for old, nw := range perm {
+		if int(nw) >= len(perm) || seen[nw] {
+			t.Fatalf("perm[%d] = %d is out of range or duplicated", old, nw)
+		}
+		seen[nw] = true
+	}
+}
+
+func TestRenumberPreservesStructure(t *testing.T) {
+	g := randomRenumberGraph(300, 1800, 7)
+	idPerm := RenumberPerm(g, RenumberNone)
+	for v, p := range idPerm {
+		if p != VID(v) {
+			t.Fatalf("RenumberNone perm[%d] = %d, want identity", v, p)
+		}
+	}
+	for _, mode := range []Renumbering{RenumberDegree, RenumberBFS} {
+		perm := RenumberPerm(g, mode)
+		checkPermutation(t, perm)
+		ng := g.Renumber(perm)
+		if ng.NumVertices() != g.NumVertices() || ng.NumEdges() != g.NumEdges() {
+			t.Fatalf("%v: size changed: %v -> %v", mode, g, ng)
+		}
+		want := edgeSet(g, perm)
+		id := RenumberPerm(ng, RenumberNone)
+		got := edgeSet(ng, id)
+		for e := range want {
+			if !got[e] {
+				t.Fatalf("%v: renumbered graph lost edge %v", mode, e)
+			}
+		}
+		// Adjacency must come out sorted, as Graph guarantees.
+		for v := 0; v < ng.NumVertices(); v++ {
+			for _, adj := range [][]VID{ng.Out(VID(v)), ng.In(VID(v))} {
+				for i := 1; i < len(adj); i++ {
+					if adj[i-1] >= adj[i] {
+						t.Fatalf("%v: adjacency of %d not strictly sorted: %v", mode, v, adj)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestRenumberDegreeOrdersHubsFirst(t *testing.T) {
+	g := randomRenumberGraph(200, 2000, 11)
+	perm := RenumberPerm(g, RenumberDegree)
+	inv := InversePerm(perm)
+	ng := g.Renumber(perm)
+	for nu := 1; nu < ng.NumVertices(); nu++ {
+		prev := g.OutDegree(inv[nu-1]) + g.InDegree(inv[nu-1])
+		cur := g.OutDegree(inv[nu]) + g.InDegree(inv[nu])
+		if prev < cur {
+			t.Fatalf("degree order violated at new IDs %d,%d: %d < %d", nu-1, nu, prev, cur)
+		}
+	}
+}
+
+func TestRenumberBFSCoversAllComponents(t *testing.T) {
+	// Two disjoint cycles plus isolated vertices: the sweep must number
+	// every vertex exactly once.
+	b := NewBuilder(10)
+	b.AddEdges([]Edge{{0, 1}, {1, 2}, {2, 0}, {5, 6}, {6, 5}})
+	g := b.Build()
+	perm := RenumberPerm(g, RenumberBFS)
+	checkPermutation(t, perm)
+}
+
+func TestInversePerm(t *testing.T) {
+	perm := []VID{2, 0, 3, 1}
+	inv := InversePerm(perm)
+	for old, nw := range perm {
+		if inv[nw] != VID(old) {
+			t.Fatalf("inv[perm[%d]] = %d", old, inv[nw])
+		}
+	}
+}
+
+func TestBuildRenumbered(t *testing.T) {
+	b := NewBuilder(0)
+	edges := []Edge{{0, 1}, {1, 2}, {2, 0}, {2, 3}, {3, 2}, {1, 0}}
+	b.AddEdges(edges)
+	g, perm := b.BuildRenumbered(RenumberDegree)
+	checkPermutation(t, perm)
+	for _, e := range edges {
+		if !g.HasEdge(perm[e.U], perm[e.V]) {
+			t.Fatalf("edge %v missing after renumbered build", e)
+		}
+	}
+}
+
+func TestParseRenumbering(t *testing.T) {
+	for _, mode := range []Renumbering{RenumberNone, RenumberDegree, RenumberBFS} {
+		got, err := ParseRenumbering(mode.String())
+		if err != nil || got != mode {
+			t.Fatalf("ParseRenumbering(%q) = %v, %v", mode.String(), got, err)
+		}
+	}
+	if _, err := ParseRenumbering("zorder"); err == nil {
+		t.Fatal("ParseRenumbering accepted an unknown mode")
+	}
+}

@@ -1,6 +1,8 @@
 package dynamic
 
 import (
+	"time"
+
 	"tdb/internal/cycle"
 	"tdb/internal/digraph"
 )
@@ -8,10 +10,11 @@ import (
 // The batched update path. A batch applies all structural changes first
 // and defers the cycle-existence queries of insertions between uncovered
 // endpoints to the end; the deferred queries are then answered up to
-// cycle.BatchWidth at a time by ONE bit-parallel bidirectional BFS sweep
-// (cycle.BatchBFSFilter, lane per edge, covered vertices as the mask),
-// with the few lanes the filter cannot prune re-checked by the exact
-// scalar search — the same two-tier pattern the top-down solver uses.
+// cycle.MaxBatchWidth at a time by ONE bit-parallel bidirectional BFS
+// sweep (cycle.BatchBFSFilter, lane per edge, covered vertices as the
+// mask, lane-group width picked from the deferred-queue length), with the
+// few lanes the filter cannot prune re-checked by the exact scalar search
+// — the same two-tier pattern the top-down solver uses.
 //
 // Deferral is sound because the cover only grows during resolution: a
 // query answered "no cycle" under an earlier (smaller) cover stays "no
@@ -139,17 +142,23 @@ func (m *Maintainer) ApplyBatch(updates []Update) []VID {
 		active[v] = !m.covered[v]
 	}
 	bf := cycle.NewBatchBFSFilterWith(g, m.k, active, m.remScratchFor(n))
+	bf.SetLanes(len(pending)) // width cap from the deferred-queue length
+	ladder := cycle.NewWidthLadder(len(pending))
 	var (
-		word   [cycle.BatchWidth]digraph.Edge
-		srcs   [cycle.BatchWidth]VID
-		pruned [cycle.BatchWidth]bool
+		word   [cycle.MaxBatchWidth]digraph.Edge
+		srcs   [cycle.MaxBatchWidth]VID
+		pruned [cycle.MaxBatchWidth]bool
 	)
 	for len(pending) > 0 {
-		// Fill one lane word, skipping edges an earlier word resolved. Lane
-		// i asks about e.U: every cycle through the edge passes through it,
-		// so "no closed walk <= k through e.U" retires the query.
+		// Fill one lane group, skipping edges an earlier group resolved.
+		// Lane i asks about e.U: every cycle through the edge passes
+		// through it, so "no closed walk <= k through e.U" retires the
+		// query. Group widths climb the queue-capped WidthLadder, so
+		// bursts deep enough to amortize the timed trials can widen while
+		// ordinary batches keep the one-word sweep.
+		width := ladder.Next()
 		w := 0
-		for w < cycle.BatchWidth && len(pending) > 0 {
+		for w < width && len(pending) > 0 {
 			e := pending[0]
 			pending = pending[1:]
 			if m.covered[e.U] || m.covered[e.V] {
@@ -163,7 +172,13 @@ func (m *Maintainer) ApplyBatch(updates []Update) []VID {
 			break
 		}
 		m.cycleChecks += int64(w)
-		bf.CanPruneBatch(srcs[:w], pruned[:w])
+		if ladder.Adapting() {
+			t0 := time.Now()
+			bf.CanPruneBatch(srcs[:w], pruned[:w])
+			ladder.Observe(width, time.Since(t0), w)
+		} else {
+			bf.CanPruneBatch(srcs[:w], pruned[:w])
+		}
 		for i := 0; i < w; i++ {
 			e := word[i]
 			if pruned[i] || m.covered[e.U] || m.covered[e.V] {

@@ -107,3 +107,40 @@ func TestEmptyGraph(t *testing.T) {
 		t.Fatalf("empty profile wrong: %+v", p)
 	}
 }
+
+func TestLocality(t *testing.T) {
+	g := digraph.FromEdges(100, []digraph.Edge{{U: 0, V: 1}, {U: 1, V: 2}, {U: 2, V: 99}})
+	l := ComputeLocality(g)
+	if l.Bandwidth != 97 {
+		t.Fatalf("bandwidth = %d, want 97", l.Bandwidth)
+	}
+	if want := (1.0 + 1.0 + 97.0) / 3.0; l.AvgNeighborDist != want {
+		t.Fatalf("avg = %v, want %v", l.AvgNeighborDist, want)
+	}
+	var buf bytes.Buffer
+	l.Fprint(&buf, "input")
+	if !strings.Contains(buf.String(), "bandwidth 97") {
+		t.Fatalf("render missing bandwidth: %q", buf.String())
+	}
+	if empty := ComputeLocality(digraph.FromEdges(3, nil)); empty.Bandwidth != 0 || empty.AvgNeighborDist != 0 {
+		t.Fatalf("empty graph locality nonzero: %+v", empty)
+	}
+}
+
+func TestLocalityShrinksUnderBFSRenumbering(t *testing.T) {
+	// A ring numbered by a stride permutation has terrible bandwidth; the
+	// Cuthill-McKee sweep must bring the average distance down near 1.
+	const n = 256
+	edges := make([]digraph.Edge, n)
+	for i := 0; i < n; i++ {
+		u, v := digraph.VID(i*37%n), digraph.VID((i+1)*37%n)
+		edges[i] = digraph.Edge{U: u, V: v}
+	}
+	g := digraph.FromEdges(n, edges)
+	before := ComputeLocality(g)
+	after := ComputeLocality(g.Renumber(digraph.RenumberPerm(g, digraph.RenumberBFS)))
+	if after.AvgNeighborDist >= before.AvgNeighborDist {
+		t.Fatalf("BFS renumbering did not improve locality: %v -> %v",
+			before.AvgNeighborDist, after.AvgNeighborDist)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"tdb/internal/core"
+	"tdb/internal/digraph"
 )
 
 // Option configures a Solve call. Options compose left to right:
@@ -28,6 +29,7 @@ type solveConfig struct {
 	edgeCover     bool
 	unconstrained bool
 	prepassSet    bool
+	renumber      Renumbering
 }
 
 // newSolveConfig applies opts over the defaults.
@@ -117,6 +119,30 @@ func WithStrategy(s Strategy) Option {
 	return func(c *solveConfig) { c.strategy = s }
 }
 
+// WithRenumbering runs the solve on a cache-aware renumbering of the
+// graph: a locality permutation (RenumberDegree packs high-degree hubs
+// into a compact ID prefix, RenumberBFS shrinks adjacency bandwidth with
+// a Cuthill-McKee-style sweep) is computed up front, the CSR is rebuilt
+// in permuted order, and the computation runs entirely on renumbered IDs.
+// The result is translated back before it is returned, so callers never
+// see vertex IDs change — Result.Cover, Stats and the labeled layer all
+// speak the input numbering. Stats.Renumbering records the mode.
+//
+// The candidate processing order is computed on the ORIGINAL graph and
+// replayed on the renumbered one, so for the top-down family (TDB, TDB+,
+// TDB++) — whose cover is a function of the candidate sequence and
+// yes/no detector answers alone — the returned cover is exactly the
+// cover the unrenumbered solve returns: renumbering is purely a
+// memory-layout optimization. BUR/BUR+ (whose hit-counter heuristic
+// follows the concrete cycles the DFS finds, an adjacency-order artifact)
+// and DARC-DV (which iterates edges in CSR order) may return a different
+// — equally valid, equally minimal — cover. Not compatible with
+// WithEdgeCover. Engine.Solve caches the renumbered graph per mode, so
+// repeated engine solves pay the permutation cost once.
+func WithRenumbering(mode Renumbering) Option {
+	return func(c *solveConfig) { c.renumber = mode }
+}
+
 // WithEdgeCover switches Solve to the EDGE-transversal problem (the paper's
 // Definition 5, the problem the DARC baseline natively solves): the result
 // names a minimal edge set whose removal destroys every constrained cycle,
@@ -166,6 +192,25 @@ const (
 	// sequential TDB++ loop.
 	StrategyPrepass = core.StrategyPrepass
 )
+
+// Renumbering selects a cache-aware vertex renumbering mode for
+// WithRenumbering; see the digraph-layer docs for the layouts.
+type Renumbering = digraph.Renumbering
+
+// Renumbering modes.
+const (
+	// RenumberNone keeps the input numbering (the default).
+	RenumberNone = digraph.RenumberNone
+	// RenumberDegree renames vertices by descending total degree, packing
+	// the high-degree core into a compact cache-resident ID prefix.
+	RenumberDegree = digraph.RenumberDegree
+	// RenumberBFS renames vertices in a Cuthill-McKee-style breadth-first
+	// sweep, giving edge endpoints nearby IDs.
+	RenumberBFS = digraph.RenumberBFS
+)
+
+// ParseRenumbering resolves a renumbering name ("none", "degree", "bfs").
+func ParseRenumbering(s string) (Renumbering, error) { return digraph.ParseRenumbering(s) }
 
 // ParseAlgorithm resolves the paper's algorithm names ("TDB++", "BUR+",
 // "DARC-DV", ...).

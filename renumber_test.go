@@ -1,0 +1,183 @@
+package tdb
+
+import (
+	"slices"
+	"testing"
+)
+
+// renumberTestGraphs returns the workload the renumbering-equivalence
+// property runs over: shapes with one giant SCC, many small SCCs, and a
+// skewed degree distribution, so every execution strategy is exercised on
+// a graph it would plan for.
+func renumberTestGraphs() map[string]*Graph {
+	return map[string]*Graph{
+		"erdos":      GenErdosRenyi(300, 1800, 21),
+		"powerlaw":   GenPowerLaw(400, 2400, 2.2, 0.3, 22),
+		"smallworld": GenSmallWorld(250, 2, 0.15, 23),
+	}
+}
+
+// TestSolveRenumberingCoverIdentity is the property the WithRenumbering
+// contract promises: for the order-driven algorithms, the cover returned
+// under any renumbering mode, already translated back to input IDs by
+// Solve, is exactly the cover of the unrenumbered solve — across hop
+// bounds and execution strategies.
+func TestSolveRenumberingCoverIdentity(t *testing.T) {
+	strategies := []Strategy{StrategyAuto, StrategySequential, StrategyParallelSCC, StrategyPrepass}
+	// The identity guarantee holds for the top-down family: its cover is a
+	// function of the candidate sequence and representation-independent
+	// yes/no detector answers. BUR's hit-counter heuristic follows the
+	// concrete cycles the DFS finds — an adjacency-order artifact — so the
+	// BUR family only promises a valid cover (tested separately).
+	algos := []Algorithm{TDBPlusPlus, TDBPlus, TDB}
+	for name, g := range renumberTestGraphs() {
+		for _, k := range []int{3, 5, 8} {
+			for _, algo := range algos {
+				for _, strat := range strategies {
+					if strat == StrategyPrepass && algo != TDBPlusPlus {
+						continue // the prepass plan is TDB++-only
+					}
+					base, err := Solve(nil, g, k,
+						WithAlgorithm(algo), WithStrategy(strat), WithWorkers(2))
+					if err != nil {
+						t.Fatalf("%s k=%d %v/%v baseline: %v", name, k, algo, strat, err)
+					}
+					want := append([]VID(nil), base.Cover...)
+					slices.Sort(want)
+					for _, mode := range []Renumbering{RenumberDegree, RenumberBFS} {
+						res, err := Solve(nil, g, k,
+							WithAlgorithm(algo), WithStrategy(strat), WithWorkers(2),
+							WithRenumbering(mode))
+						if err != nil {
+							t.Fatalf("%s k=%d %v/%v %v: %v", name, k, algo, strat, mode, err)
+						}
+						got := append([]VID(nil), res.Cover...)
+						slices.Sort(got)
+						if !slices.Equal(got, want) {
+							t.Fatalf("%s k=%d %v/%v %v: cover mismatch\n got %v\nwant %v",
+								name, k, algo, strat, mode, got, want)
+						}
+						if res.Stats.Renumbering != mode.String() {
+							t.Fatalf("Stats.Renumbering = %q, want %q", res.Stats.Renumbering, mode)
+						}
+						if rep := Verify(g, k, 3, res.Cover, false); !rep.Valid {
+							t.Fatalf("%s k=%d %v/%v %v: invalid cover, witness %v", name, k, algo, strat, mode, rep.Witness)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestSolveRenumberingCoverShape checks the renumbered result keeps the
+// public cover shape — ascending input-numbering VIDs, byte-for-byte what
+// the unrenumbered solve returns — across candidate orders.
+func TestSolveRenumberingCoverShape(t *testing.T) {
+	g := GenPowerLaw(300, 1800, 2.2, 0.3, 31)
+	for _, order := range []Order{OrderNatural, OrderDegreeDesc, OrderRandom} {
+		base, err := Solve(nil, g, 6, WithStrategy(StrategySequential), WithOrder(order), WithSeed(9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, mode := range []Renumbering{RenumberDegree, RenumberBFS} {
+			res, err := Solve(nil, g, 6, WithStrategy(StrategySequential), WithOrder(order),
+				WithSeed(9), WithRenumbering(mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !slices.IsSorted(res.Cover) {
+				t.Fatalf("order %v mode %v: cover not ascending: %v", order, mode, res.Cover)
+			}
+			if !slices.Equal(res.Cover, base.Cover) {
+				t.Fatalf("order %v mode %v: cover mismatch\n got %v\nwant %v",
+					order, mode, res.Cover, base.Cover)
+			}
+		}
+	}
+}
+
+// TestEngineSolveRenumbering exercises the per-mode cached twin: repeated
+// engine solves under renumbering must agree with the package-level path
+// and with the engine's own unrenumbered answer.
+func TestEngineSolveRenumbering(t *testing.T) {
+	g := GenPowerLaw(300, 1800, 2.2, 0.3, 41)
+	e := NewEngine(g)
+	base, err := e.Solve(nil, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]VID(nil), base.Cover...)
+	slices.Sort(want)
+	for round := 0; round < 3; round++ {
+		for _, mode := range []Renumbering{RenumberDegree, RenumberBFS} {
+			res, err := e.Solve(nil, 6, WithRenumbering(mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := append([]VID(nil), res.Cover...)
+			slices.Sort(got)
+			if !slices.Equal(got, want) {
+				t.Fatalf("round %d mode %v: got %v want %v", round, mode, got, want)
+			}
+		}
+	}
+}
+
+// TestSolveRenumberingWeighted checks that the cost vector follows the
+// permutation: the weighted objective must pick the same (input-ID)
+// vertices either way.
+func TestSolveRenumberingWeighted(t *testing.T) {
+	g := GenErdosRenyi(200, 1400, 51)
+	w := make([]float64, g.NumVertices())
+	for v := range w {
+		w[v] = float64((v*2654435761)%97) + 1
+	}
+	base, err := Solve(nil, g, 5, WithWeights(w), WithOrder(OrderWeighted))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]VID(nil), base.Cover...)
+	slices.Sort(want)
+	for _, mode := range []Renumbering{RenumberDegree, RenumberBFS} {
+		res, err := Solve(nil, g, 5, WithWeights(w), WithOrder(OrderWeighted), WithRenumbering(mode))
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := append([]VID(nil), res.Cover...)
+		slices.Sort(got)
+		if !slices.Equal(got, want) {
+			t.Fatalf("mode %v: got %v want %v", mode, got, want)
+		}
+	}
+}
+
+// TestSolveRenumberingAdjacencyDrivenValid documents the weaker contract
+// of the adjacency-order-driven algorithms (BUR's hit heuristic follows
+// the concrete cycles found, DARC-DV iterates edges in CSR order): the
+// cover may differ from the unrenumbered one but must still be a valid —
+// and for BUR+ minimal — cover in input IDs.
+func TestSolveRenumberingAdjacencyDrivenValid(t *testing.T) {
+	g := GenErdosRenyi(150, 900, 61)
+	for _, algo := range []Algorithm{BUR, BURPlus, DARCDV} {
+		for _, mode := range []Renumbering{RenumberDegree, RenumberBFS} {
+			res, err := Solve(nil, g, 5, WithAlgorithm(algo), WithRenumbering(mode))
+			if err != nil {
+				t.Fatal(err)
+			}
+			wantMinimal := algo == BURPlus
+			if rep := Verify(g, 5, 3, res.Cover, wantMinimal); !rep.Valid || (wantMinimal && !rep.Minimal) {
+				t.Fatalf("%v mode %v: bad cover (valid=%v minimal=%v) witness %v redundant %v",
+					algo, mode, rep.Valid, rep.Minimal, rep.Witness, rep.Redundant)
+			}
+		}
+	}
+}
+
+// TestSolveRenumberingRejectsEdgeCover pins the rejected combination.
+func TestSolveRenumberingRejectsEdgeCover(t *testing.T) {
+	g := GenErdosRenyi(50, 300, 71)
+	if _, err := Solve(nil, g, 5, WithEdgeCover(), WithRenumbering(RenumberDegree)); err == nil {
+		t.Fatal("WithEdgeCover + WithRenumbering was accepted")
+	}
+}

@@ -3,9 +3,11 @@ package tdb
 import (
 	"context"
 	"fmt"
+	"slices"
 
 	"tdb/internal/core"
 	"tdb/internal/cycle"
+	"tdb/internal/digraph"
 )
 
 // Solve computes a hop-constrained cycle cover of g for cycles of length in
@@ -29,7 +31,49 @@ func Solve(ctx context.Context, g *Graph, k int, opts ...Option) (*Result, error
 	if cfg.edgeCover {
 		return solveEdges(g, cfg)
 	}
+	if cfg.renumber != RenumberNone {
+		perm := digraph.RenumberPerm(g, cfg.renumber)
+		applyRenumbering(g, perm, &cfg)
+		r, err := core.Solve(g.Renumber(perm), cfg.spec())
+		if err != nil {
+			return nil, err
+		}
+		mapCoverBack(r, digraph.InversePerm(perm), cfg.renumber)
+		return r, nil
+	}
 	return core.Solve(g, cfg.spec())
+}
+
+// applyRenumbering rewrites cfg for a solve over g renumbered by perm:
+// the candidate order is materialized on the ORIGINAL graph and replayed
+// through the permutation (so order-driven algorithms visit the same
+// logical vertex sequence and return the same cover), and the cost vector
+// is permuted alongside.
+func applyRenumbering(g *Graph, perm []VID, cfg *solveConfig) {
+	order := core.VertexOrder(g, cfg.core)
+	mapped := make([]VID, len(order))
+	for i, v := range order {
+		mapped[i] = perm[v]
+	}
+	cfg.core.CandidateOrder = mapped
+	if cfg.core.Weights != nil {
+		w := make([]float64, len(cfg.core.Weights))
+		for v, c := range cfg.core.Weights {
+			w[perm[v]] = c
+		}
+		cfg.core.Weights = w
+	}
+}
+
+// mapCoverBack translates a renumbered-ID result to the input numbering
+// and stamps the mode into the stats. Covers leave the core sorted by
+// renumbered ID; re-sorting keeps the public "ascending VID" shape.
+func mapCoverBack(r *Result, inv []VID, mode Renumbering) {
+	for i, v := range r.Cover {
+		r.Cover[i] = inv[v]
+	}
+	slices.Sort(r.Cover)
+	r.Stats.Renumbering = mode.String()
 }
 
 // prepareSolve resolves the request-level knobs (hop bound, context) and
@@ -50,6 +94,12 @@ func prepareSolve(cfg *solveConfig, g *Graph, k int, ctx context.Context) error 
 		}
 		if cfg.prepassSet && cfg.core.PrepassWorkers != 0 {
 			return fmt.Errorf("tdb: WithEdgeCover does not support the BFS-filter prepass")
+		}
+		if cfg.renumber != RenumberNone {
+			// Edge covers are reported as edge lists whose processing order
+			// is CSR-order-dependent; renumbering would silently change the
+			// answer, so the combination is rejected.
+			return fmt.Errorf("tdb: WithEdgeCover does not support WithRenumbering")
 		}
 	}
 	return nil
@@ -82,6 +132,16 @@ func (e *Engine) Solve(ctx context.Context, k int, opts ...Option) (*Result, err
 		// The edge detector sizes its state to the edge count and is not
 		// pooled; engine edge solves share only the graph.
 		return solveEdges(e.Graph(), cfg)
+	}
+	if cfg.renumber != RenumberNone {
+		re := e.renumbered(cfg.renumber)
+		applyRenumbering(e.Graph(), re.perm, &cfg)
+		r, err := re.e.Solve(nil, cfg.spec())
+		if err != nil {
+			return nil, err
+		}
+		mapCoverBack(r, re.inv, cfg.renumber)
+		return r, nil
 	}
 	return e.e.Solve(nil, cfg.spec())
 }

@@ -70,6 +70,7 @@ package tdb
 
 import (
 	"context"
+	"sync"
 
 	"tdb/internal/core"
 	"tdb/internal/cycle"
@@ -220,6 +221,54 @@ func CoverWith(g *Graph, algo Algorithm, k int, opts *Options) (*Result, error) 
 // Engines are safe for concurrent use.
 type Engine struct {
 	e *core.Engine
+
+	// Per-mode renumbered twins of the graph (WithRenumbering), built
+	// lazily: computing the permutation and rebuilding the CSR is O(n + m
+	// log d), so repeated engine solves amortize it to once per mode.
+	renMu sync.Mutex
+	ren   map[Renumbering]*renumberedEngine
+}
+
+// renumberedEngine is a core engine over the renumbered graph plus the
+// translations in and out of it.
+type renumberedEngine struct {
+	e         *core.Engine
+	perm, inv []VID // perm[old] = new, inv[new] = old
+}
+
+// RenumberPerm computes the cache-aware locality permutation of g under
+// mode (perm[old] = new, deterministic; the identity for RenumberNone).
+// Solve applies it internally via WithRenumbering; the standalone form
+// serves callers that want to inspect or pre-apply the layout — a
+// renumbered graph is built with g.Renumber(perm), and InversePerm
+// translates renumbered IDs back.
+func RenumberPerm(g *Graph, mode Renumbering) []VID {
+	return digraph.RenumberPerm(g, mode)
+}
+
+// InversePerm inverts a permutation: inv[perm[v]] = v.
+func InversePerm(perm []VID) []VID { return digraph.InversePerm(perm) }
+
+// renumbered returns the cached renumbered twin for mode, building it on
+// first use.
+func (e *Engine) renumbered(mode Renumbering) *renumberedEngine {
+	e.renMu.Lock()
+	defer e.renMu.Unlock()
+	if re, ok := e.ren[mode]; ok {
+		return re
+	}
+	g := e.e.Graph()
+	perm := digraph.RenumberPerm(g, mode)
+	re := &renumberedEngine{
+		e:    core.NewEngine(g.Renumber(perm)),
+		perm: perm,
+		inv:  digraph.InversePerm(perm),
+	}
+	if e.ren == nil {
+		e.ren = make(map[Renumbering]*renumberedEngine)
+	}
+	e.ren[mode] = re
+	return re
 }
 
 // NewEngine creates a reusable compute engine over g.
@@ -294,14 +343,15 @@ func FindCycle(g *Graph, k int, s VID) []VID {
 }
 
 // HasHopConstrainedCycle reports whether g contains any cycle of length in
-// [3, k]. It prunes vertices with the bit-parallel batched BFS-filter (64
-// sources per sweep) and falls through to the paper's block-based detector
-// only for the survivors. For repeated queries use
-// Engine.HasHopConstrainedCycle.
+// [3, k]. It prunes vertices with the bit-parallel batched BFS-filter (up
+// to 512 sources per sweep, the lane width picked from the graph size) and
+// falls through to the paper's block-based detector only for the
+// survivors. For repeated queries use Engine.HasHopConstrainedCycle.
 func HasHopConstrainedCycle(g *Graph, k int) bool {
 	sc := cycle.NewScratch(g.NumVertices()) // detector + filter share one scratch
 	det := cycle.NewBlockDetectorWith(g, k, cycle.DefaultMinLen, nil, sc)
 	filter := cycle.NewBatchBFSFilterWith(g, k, nil, sc)
+	filter.SetLanes(g.NumVertices())
 	return !filter.VisitUnpruned(g.NumVertices(), func(v VID) bool {
 		return !det.HasCycleThrough(v) // a found cycle stops the sweep
 	})
