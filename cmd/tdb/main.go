@@ -16,18 +16,35 @@ package main
 import (
 	"bufio"
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"tdb"
 )
 
+// Sentinel errors so scripts can tell WHY a run produced no cover: a solve
+// that outgrew its -timeout exits 124 (the timeout(1) convention), an
+// interrupt exits 130 (128+SIGINT), and bad input stays at 1.
+var (
+	errTimedOut = errors.New("timed out")
+	errCanceled = errors.New("canceled")
+)
+
 func main() {
 	if err := run(os.Args[1:], os.Stdout); err != nil {
 		fmt.Fprintln(os.Stderr, "tdb:", err)
+		switch {
+		case errors.Is(err, errTimedOut):
+			os.Exit(124)
+		case errors.Is(err, errCanceled):
+			os.Exit(130)
+		}
 		os.Exit(1)
 	}
 }
@@ -46,6 +63,7 @@ func run(args []string, out io.Writer) error {
 		workers   = fs.Int("workers", 0, "worker budget for strategy selection (0 = all cores)")
 		prepass   = fs.Int("prepass", 0, "pin the TDB++ BFS-filter prepass to this many workers (0 = let -strategy decide, -1 = all cores)")
 		timeout   = fs.Duration("timeout", 0, "abort after this duration (0 = unlimited)")
+		degrade   = fs.Bool("degrade", false, "on timeout, write the valid-but-possibly-non-minimal cover instead of failing")
 		edgeMode  = fs.Bool("edges", false, "compute the EDGE transversal instead of the vertex cover")
 		outPath   = fs.String("out", "", "write the cover here (default stdout)")
 		doVerify  = fs.Bool("verify", false, "verify validity and minimality of the result")
@@ -80,7 +98,10 @@ func run(args []string, out io.Writer) error {
 	}
 	fmt.Fprintf(os.Stderr, "loaded %v\n", g)
 
-	ctx := context.Background()
+	// Ctrl-C cancels the solve rather than killing the process mid-write;
+	// the exit code then distinguishes interrupt (130) from timeout (124).
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 	if *timeout > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
@@ -103,6 +124,9 @@ func run(args []string, out io.Writer) error {
 	if *edgeMode {
 		opts = append(opts, tdb.WithEdgeCover())
 	}
+	if *degrade {
+		opts = append(opts, tdb.WithPartialOnDeadline())
+	}
 	res, err := tdb.Solve(ctx, g, *k, opts...)
 	if err != nil {
 		return err
@@ -117,14 +141,22 @@ func run(args []string, out io.Writer) error {
 		st.CoverSize, st.Duration.Round(time.Millisecond),
 		st.Checked, st.FilterPruned, st.SCCSkipped, batched)
 	if st.TimedOut {
-		return fmt.Errorf("timed out after %v; partial cover not written", *timeout)
+		if st.StopReason == "canceled" {
+			return fmt.Errorf("%w (interrupt); partial cover not written", errCanceled)
+		}
+		return fmt.Errorf("%w after %v; partial cover not written", errTimedOut, *timeout)
+	}
+	if st.Degraded {
+		fmt.Fprintf(os.Stderr, "deadline hit (%s): cover is valid but possibly non-minimal\n", st.StopReason)
 	}
 
 	if *doVerify {
 		if *edgeMode {
 			fmt.Fprintln(os.Stderr, "note: -verify checks vertex covers; skipping for -edges")
 		} else {
-			wantMinimal := algo != tdb.BUR && algo != tdb.DARCDV
+			// Degraded covers trade minimality for the deadline; only
+			// validity can be demanded of them.
+			wantMinimal := algo != tdb.BUR && algo != tdb.DARCDV && !st.Degraded
 			rep := tdb.Verify(g, *k, *minLen, res.Cover, wantMinimal)
 			switch {
 			case !rep.Valid:

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
@@ -89,5 +90,27 @@ func TestRunTimeout(t *testing.T) {
 	err := run([]string{"-graph", path, "-timeout", "1ns"}, &bytes.Buffer{})
 	if err == nil || !strings.Contains(err.Error(), "timed out") {
 		t.Fatalf("want timeout error, got %v", err)
+	}
+	// The sentinel is what main maps to exit code 124; it must survive the
+	// wrapping, and must NOT look like an interrupt (130).
+	if !errors.Is(err, errTimedOut) {
+		t.Fatalf("timeout error %v does not wrap errTimedOut", err)
+	}
+	if errors.Is(err, errCanceled) {
+		t.Fatalf("timeout error %v wrongly wraps errCanceled", err)
+	}
+}
+
+func TestRunTimeoutDegrade(t *testing.T) {
+	// Same expired deadline, but with -degrade the run must succeed with a
+	// valid (conservative) cover instead of failing.
+	path := writeTriangle(t)
+	var out bytes.Buffer
+	err := run([]string{"-graph", path, "-timeout", "1ns", "-degrade", "-verify"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(strings.Fields(out.String())) == 0 {
+		t.Fatal("degraded run wrote no cover")
 	}
 }

@@ -1,0 +1,129 @@
+// Command tdbserve serves hop-constrained cycle cover queries over HTTP.
+//
+// Usage:
+//
+//	tdbserve -addr :8080 -k 5 [-minlen 3] [-n 1000] [-graph g.txt]
+//	    [-deadline 5s] [-max-deadline 30s] [-max-concurrent 0]
+//	    [-write-queue 256] [-publish-every 512] [-degrade]
+//
+// One writer goroutine applies POSTed edge updates to a dynamic cover
+// maintainer and publishes immutable epoch snapshots; reader requests
+// (solve, cycle, hascycle, cover) run against the epoch current at their
+// arrival. SIGINT/SIGTERM drain gracefully: admissions stop, in-flight
+// requests finish, the write queue is flushed into a final epoch, and the
+// process exits 0.
+//
+// Quickstart:
+//
+//	tdbserve -addr :8080 -k 5 -n 100 &
+//	curl -s localhost:8080/healthz
+//	curl -s -X POST localhost:8080/v1/update -d \
+//	    '{"updates":[{"op":"insert","u":0,"v":1},{"op":"insert","u":1,"v":2},{"op":"insert","u":2,"v":0}],"publish":true,"wait":true}'
+//	curl -s -X POST localhost:8080/v1/solve -d '{}'
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"tdb"
+	"tdb/internal/core"
+	"tdb/internal/server"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "tdbserve:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("tdbserve", flag.ContinueOnError)
+	var (
+		addr        = fs.String("addr", ":8080", "listen address")
+		k           = fs.Int("k", 5, "hop constraint: maintain a cover of cycles of length minlen..k")
+		minLen      = fs.Int("minlen", 3, "minimum cycle length (2 includes 2-cycles)")
+		n           = fs.Int("n", 0, "initial vertex count for an empty server")
+		graphPath   = fs.String("graph", "", "seed graph file (optional; solves the initial cover at startup)")
+		deadline    = fs.Duration("deadline", 5*time.Second, "default per-request deadline")
+		maxDeadline = fs.Duration("max-deadline", 30*time.Second, "cap on per-request deadline overrides")
+		maxConc     = fs.Int("max-concurrent", 0, "reader admission limit (0 = 2x cores)")
+		writeQueue  = fs.Int("write-queue", 256, "writer queue depth (full queue sheds with 429)")
+		publishEach = fs.Int("publish-every", 512, "publish a fresh epoch after this many applied updates")
+		degrade     = fs.Bool("degrade", false, "default solves to partial_on_deadline (valid degraded cover instead of 504)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+
+	cfg := server.Config{
+		NumVertices:       *n,
+		K:                 *k,
+		MinLen:            *minLen,
+		DefaultDeadline:   *deadline,
+		MaxDeadline:       *maxDeadline,
+		MaxConcurrent:     *maxConc,
+		WriteQueue:        *writeQueue,
+		PublishEvery:      *publishEach,
+		DegradeOnDeadline: *degrade,
+	}
+	if *graphPath != "" {
+		g, err := tdb.LoadGraph(*graphPath)
+		if err != nil {
+			return fmt.Errorf("loading graph: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "loaded %v\n", g)
+		res, err := core.Compute(g, core.TDBPlusPlus, core.Options{K: *k, MinLen: *minLen})
+		if err != nil {
+			return fmt.Errorf("solving seed cover: %w", err)
+		}
+		fmt.Fprintf(os.Stderr, "seed cover: %d vertices in %v\n",
+			len(res.Cover), res.Stats.Duration.Round(time.Millisecond))
+		cfg.Seed = g
+		cfg.SeedCover = res.Cover
+	}
+
+	s, err := server.New(cfg)
+	if err != nil {
+		return err
+	}
+	httpSrv := &http.Server{Addr: *addr, Handler: s.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+	fmt.Fprintf(os.Stderr, "serving on %s (k=%d minlen=%d)\n", *addr, *k, *minLen)
+
+	select {
+	case err := <-errc:
+		return err // bind failure or unexpected listener death
+	case <-ctx.Done():
+	}
+
+	// Drain: stop accepting connections, let in-flight requests finish,
+	// flush the writer, exit cleanly.
+	fmt.Fprintln(os.Stderr, "signal received; draining")
+	shutCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := s.Shutdown(shutCtx); err != nil {
+		return fmt.Errorf("server drain: %w", err)
+	}
+	if err := <-errc; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	fmt.Fprintln(os.Stderr, "drained; bye")
+	return nil
+}

@@ -12,12 +12,14 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"slices"
 	"time"
 
 	"tdb/internal/cycle"
 	"tdb/internal/digraph"
+	"tdb/internal/fault"
 	"tdb/internal/scc"
 )
 
@@ -150,8 +152,19 @@ type Options struct {
 	// the exponential-worst-case DFS of the plain detector (TDB, BUR) and
 	// DARC; the block detector's O(k*m) queries (TDB+, TDB++) run to
 	// completion — and a done context stops the algorithm and marks the
-	// result TimedOut.
+	// result TimedOut (or Degraded, see PartialOnDeadline).
 	Context context.Context
+	// PartialOnDeadline switches the deadline contract of the top-down
+	// family (TDB, TDB+, TDB++) from fail to degrade: instead of marking a
+	// stopped run TimedOut (result unusable), the run finishes its
+	// conservative completion — every candidate not yet decided joins the
+	// cover, minus vertices already PROVEN to lie on no constrained cycle —
+	// and returns it as a VALID (merely non-minimal) cover with
+	// Stats.Degraded set and TimedOut clear. Runs that finish in time are
+	// byte-for-byte unaffected. The bottom-up family and DARC grow their
+	// covers from the empty set, so no conservative completion exists
+	// mid-run; requesting the option with them is an error.
+	PartialOnDeadline bool
 	// Cancelled, when non-nil, is polled between candidate steps; when it
 	// returns true the algorithm stops and marks the result TimedOut. With
 	// PrepassWorkers != 0 (or under ComputeParallel) the hook is also
@@ -248,6 +261,16 @@ type Stats struct {
 	Detector cycle.Stats
 	// TimedOut marks a cancelled run; the cover is then incomplete.
 	TimedOut bool
+	// Degraded marks a run that hit its deadline under
+	// Options.PartialOnDeadline and answered with the conservative
+	// completion: the cover is VALID (it intersects every constrained
+	// cycle) but not minimal. Mutually exclusive with TimedOut.
+	Degraded bool
+	// StopReason records why a TimedOut or Degraded run stopped:
+	// "deadline" (context.DeadlineExceeded), "canceled" (context.Canceled
+	// or another cause), or "hook" (the deprecated Cancelled func). Empty
+	// on runs that finished on their own.
+	StopReason string
 
 	// Renumbering names the cache-aware vertex renumbering mode the solve
 	// layer applied before the computation ("degree", "bfs"); empty when
@@ -269,7 +292,9 @@ type Stats struct {
 // Result is a computed cover plus its statistics.
 type Result struct {
 	// Cover is the vertex cover, sorted by ID. When Stats.TimedOut is set
-	// the cover is partial and NOT a valid cycle cover.
+	// the cover is partial and NOT a valid cycle cover; when Stats.Degraded
+	// is set instead (Options.PartialOnDeadline) the cover is valid but not
+	// minimal.
 	Cover []VID
 	// Edges is the edge transversal of an edge-cover solve (Definition 5's
 	// k-cycle transversal); nil for vertex-cover runs, where Cover carries
@@ -303,20 +328,68 @@ func Compute(g *digraph.Graph, algo Algorithm, opts Options) (*Result, error) {
 // compute dispatches a validated computation; rs supplies reusable scratch
 // (nil allocates fresh, the one-shot path).
 func compute(g *digraph.Graph, algo Algorithm, opts Options, rs *runScratch) (*Result, error) {
+	if err := checkPartialSupport(algo, opts); err != nil {
+		return nil, err
+	}
+	// Chaos hook: a panic injected here unwinds through the caller exactly
+	// like a solver bug on the request goroutine would (see internal/fault).
+	fault.Inject("core/compute")
 	if rs == nil {
 		rs = newRunScratch(g.NumVertices())
 	}
+	var (
+		r   *Result
+		err error
+	)
 	switch algo {
 	case BUR:
-		return bottomUp(g, opts, false, rs), nil
+		r = bottomUp(g, opts, false, rs)
 	case BURPlus:
-		return bottomUp(g, opts, true, rs), nil
+		r = bottomUp(g, opts, true, rs)
 	case TDB, TDBPlus, TDBPlusPlus:
-		return topDown(g, algo, opts, rs), nil
+		r, err = topDown(g, algo, opts, rs)
 	case DARCDV:
-		return darcDV(g, opts)
+		r, err = darcDV(g, opts)
 	default:
 		return nil, fmt.Errorf("core: unknown algorithm %v", algo)
+	}
+	if err != nil {
+		return nil, err
+	}
+	stampStopReason(r, opts)
+	return r, nil
+}
+
+// checkPartialSupport rejects PartialOnDeadline for algorithms without a
+// conservative mid-run completion (their covers grow from the empty set, so
+// a stopped run has no valid cover to degrade to).
+func checkPartialSupport(algo Algorithm, opts Options) error {
+	if !opts.PartialOnDeadline {
+		return nil
+	}
+	switch algo {
+	case TDB, TDBPlus, TDBPlusPlus:
+		return nil
+	default:
+		return fmt.Errorf("core: PartialOnDeadline supports the top-down family only, not %v", algo)
+	}
+}
+
+// stampStopReason records why a stopped run stopped, from the context's
+// error (or its absence, implicating the deprecated Cancelled hook).
+func stampStopReason(r *Result, opts Options) {
+	if r == nil || (!r.Stats.TimedOut && !r.Stats.Degraded) || r.Stats.StopReason != "" {
+		return
+	}
+	switch {
+	case opts.Context == nil:
+		r.Stats.StopReason = "hook"
+	case errors.Is(context.Cause(opts.Context), context.DeadlineExceeded):
+		r.Stats.StopReason = "deadline"
+	case opts.Context.Err() != nil:
+		r.Stats.StopReason = "canceled"
+	default:
+		r.Stats.StopReason = "hook"
 	}
 }
 

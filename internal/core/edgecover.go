@@ -1,6 +1,7 @@
 package core
 
 import (
+	"fmt"
 	"time"
 
 	"tdb/internal/digraph"
@@ -34,6 +35,14 @@ func TopDownEdges(g *digraph.Graph, opts Options) (*EdgeCoverResult, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(g); err != nil {
 		return nil, err
+	}
+	if opts.PartialOnDeadline {
+		// The vertex-side degradation contract (Options.PartialOnDeadline)
+		// rests on the top-down VERTEX process keeping every undecided
+		// candidate in the cover; the edge transversal's timeout path breaks
+		// off mid-vertex without conservatively keeping the remaining edges,
+		// so a timed-out edge result is NOT a valid transversal.
+		return nil, fmt.Errorf("core: PartialOnDeadline is not supported for the edge transversal")
 	}
 	start := time.Now()
 	stop := opts.stop()

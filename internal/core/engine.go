@@ -67,8 +67,14 @@ func (e *Engine) Compute(ctx context.Context, algo Algorithm, opts Options) (*Re
 	}
 	rs := e.runPool.Get().(*runScratch)
 	rs.cycPool = e.cycPool
-	defer e.runPool.Put(rs)
-	return compute(e.g, algo, opts, rs)
+	// Deliberately NOT a deferred Put: if compute panics out of this frame
+	// (caller-supplied callbacks, or a bug the pool recovery above this layer
+	// contains), the scratch was abandoned mid-traversal and may hold
+	// poisoned marks — quarantine it to the GC instead of ever handing it to
+	// a later, unrelated run.
+	r, err := compute(e.g, algo, opts, rs)
+	e.runPool.Put(rs)
+	return r, err
 }
 
 // condensation returns the engine's cached SCC decomposition.
@@ -93,8 +99,11 @@ func (e *Engine) nontrivialSCCs() int {
 // query for serving repeated traffic.
 func (e *Engine) FindCycle(k, minLen int, s VID) []VID {
 	sc := e.cycPool.Get()
-	defer e.cycPool.Put(sc)
-	return cycle.NewBlockDetectorWith(e.g, k, minLen, nil, sc).FindFrom(s)
+	// Non-deferred Put: a panicking query quarantines its scratch (see
+	// Compute) rather than pooling possibly-poisoned marks.
+	c := cycle.NewBlockDetectorWith(e.g, k, minLen, nil, sc).FindFrom(s)
+	e.cycPool.Put(sc)
+	return c
 }
 
 // HasHopConstrainedCycle reports whether the engine's graph contains any
@@ -103,13 +112,16 @@ func (e *Engine) FindCycle(k, minLen int, s VID) []VID {
 // from the graph size) and the detector run on the survivors.
 func (e *Engine) HasHopConstrainedCycle(k, minLen int) bool {
 	sc := e.cycPool.Get()
-	defer e.cycPool.Put(sc)
 	det := cycle.NewBlockDetectorWith(e.g, k, minLen, nil, sc)
 	filter := cycle.NewBatchBFSFilterWith(e.g, k, nil, sc)
 	filter.SetLanes(e.g.NumVertices())
-	return !filter.VisitUnpruned(e.g.NumVertices(), func(v VID) bool {
+	found := !filter.VisitUnpruned(e.g.NumVertices(), func(v VID) bool {
 		return !det.HasCycleThrough(v) // a found cycle stops the sweep
 	})
+	// Non-deferred Put: a panicking query quarantines its scratch (see
+	// Compute) rather than pooling possibly-poisoned marks.
+	e.cycPool.Put(sc)
+	return found
 }
 
 // ComputeParallel runs the SCC-partitioned parallel solver (see the

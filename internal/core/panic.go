@@ -1,0 +1,60 @@
+package core
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync"
+	"sync/atomic"
+)
+
+// PanicError is a panic recovered from a solver worker goroutine, carrying
+// the original panic value and the panicking goroutine's stack. Before this
+// isolation a worker panic either took the whole process down or, worse,
+// left sibling workers blocked on the merge; now the pool cancels its
+// siblings, drains, and surfaces the failure as an ordinary error the
+// caller (e.g. a serving layer) can contain per-request.
+type PanicError struct {
+	// Value is the recovered panic value.
+	Value any
+	// Stack is the panicking goroutine's stack, captured at the recovery
+	// point inside the worker.
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("core: worker panicked: %v\n%s", e.Value, e.Stack)
+}
+
+// panicTrap collects the first panic of a worker pool and tells the
+// siblings to stand down. Zero value is ready.
+type panicTrap struct {
+	aborted atomic.Bool
+	mu      sync.Mutex
+	err     *PanicError
+}
+
+// capture records a recovered panic value (the first wins) and aborts the
+// pool. The caller has already recover()ed; the stack is captured here, so
+// call it directly from the deferred recovery to keep the panic frames.
+func (t *panicTrap) capture(p any) {
+	t.mu.Lock()
+	if t.err == nil {
+		t.err = &PanicError{Value: p, Stack: debug.Stack()}
+	}
+	t.mu.Unlock()
+	t.aborted.Store(true)
+}
+
+// tripped reports whether a worker panicked; sibling workers poll it to
+// drain instead of starting new work.
+func (t *panicTrap) tripped() bool { return t.aborted.Load() }
+
+// Err returns the first captured panic as an error, or nil.
+func (t *panicTrap) Err() error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.err == nil {
+		return nil
+	}
+	return t.err
+}

@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"tdb/internal/digraph"
+	"tdb/internal/fault"
 	"tdb/internal/scc"
 )
 
@@ -39,6 +40,9 @@ func ComputeParallel(g *digraph.Graph, algo Algorithm, opts Options, workers int
 func computeParallelWith(g *digraph.Graph, algo Algorithm, opts Options, workers int, comps *scc.Result) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(g); err != nil {
+		return nil, err
+	}
+	if err := checkPartialSupport(algo, opts); err != nil {
 		return nil, err
 	}
 	if workers <= 0 {
@@ -78,7 +82,65 @@ func computeParallelWith(g *digraph.Graph, algo Algorithm, opts Options, workers
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
+		trap     panicTrap
 	)
+	// runJob covers one component on the worker's own state and is the
+	// panic-isolation boundary: a panic anywhere in the per-component
+	// computation is recovered HERE — outside the merge mutex, so siblings
+	// can never deadlock on a lock the dying worker held — and surfaced as
+	// a PanicError with the original stack.
+	runJob := func(keep []bool, verts []VID) (res *Result, oldID []VID, err error) {
+		defer func() {
+			if p := recover(); p != nil {
+				trap.capture(p)
+				res, err = nil, trap.Err()
+			}
+		}()
+		fault.Inject("core/parallel-worker")
+		for _, v := range verts {
+			keep[v] = true
+		}
+		sub, old := g.InducedSubgraph(keep)
+		for _, v := range verts {
+			keep[v] = false
+		}
+		oldID = old
+		subOpts := opts
+		subOpts.SCCPrefilter = false // already decomposed
+		if orderPos != nil {
+			// InducedSubgraph relabels monotonically, so dense ID i
+			// is oldID[i]; sorting the dense IDs by the global
+			// order's positions replays it inside the component.
+			so := make([]VID, len(oldID))
+			for i := range so {
+				so[i] = VID(i)
+			}
+			sort.Slice(so, func(a, b int) bool {
+				return orderPos[oldID[so[a]]] < orderPos[oldID[so[b]]]
+			})
+			subOpts.CandidateOrder = so
+		}
+		if opts.Weights != nil {
+			// Remap the cost vector to the component's dense IDs.
+			sw := make([]float64, sub.NumVertices())
+			for i, old := range oldID {
+				sw[i] = opts.Weights[old]
+			}
+			subOpts.Weights = sw
+		}
+		if sub.NumVertices() < subOpts.MinLen {
+			// Too small to hold any constrained cycle (e.g. a
+			// 2-vertex SCC when 2-cycles are excluded).
+			return nil, oldID, nil
+		}
+		if subOpts.K > sub.NumVertices() {
+			// No simple cycle exceeds the component size; clamping
+			// keeps the unconstrained case (K = n) cheap.
+			subOpts.K = sub.NumVertices()
+		}
+		res, err = Compute(sub, algo, subOpts)
+		return res, oldID, err
+	}
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
 		go func() {
@@ -87,6 +149,9 @@ func computeParallelWith(g *digraph.Graph, algo Algorithm, opts Options, workers
 			// in O(|component|) instead of reallocated.
 			keep := make([]bool, g.NumVertices())
 			for j := range jobs {
+				if trap.tripped() {
+					continue // a sibling panicked: drain the channel
+				}
 				if stop != nil && stop() {
 					// Stay on the safe side, as the sequential loop does:
 					// every vertex of an unprocessed component joins the
@@ -99,53 +164,17 @@ func computeParallelWith(g *digraph.Graph, algo Algorithm, opts Options, workers
 					mu.Unlock()
 					continue // drain the channel
 				}
-				for _, v := range j.verts {
-					keep[v] = true
-				}
-				sub, oldID := g.InducedSubgraph(keep)
-				for _, v := range j.verts {
-					keep[v] = false
-				}
-				subOpts := opts
-				subOpts.SCCPrefilter = false // already decomposed
-				if orderPos != nil {
-					// InducedSubgraph relabels monotonically, so dense ID i
-					// is oldID[i]; sorting the dense IDs by the global
-					// order's positions replays it inside the component.
-					so := make([]VID, len(oldID))
-					for i := range so {
-						so[i] = VID(i)
-					}
-					sort.Slice(so, func(a, b int) bool {
-						return orderPos[oldID[so[a]]] < orderPos[oldID[so[b]]]
-					})
-					subOpts.CandidateOrder = so
-				}
-				if opts.Weights != nil {
-					// Remap the cost vector to the component's dense IDs.
-					sw := make([]float64, sub.NumVertices())
-					for i, old := range oldID {
-						sw[i] = opts.Weights[old]
-					}
-					subOpts.Weights = sw
-				}
-				if sub.NumVertices() < subOpts.MinLen {
-					// Too small to hold any constrained cycle (e.g. a
-					// 2-vertex SCC when 2-cycles are excluded).
-					continue
-				}
-				if subOpts.K > sub.NumVertices() {
-					// No simple cycle exceeds the component size; clamping
-					// keeps the unconstrained case (K = n) cheap.
-					subOpts.K = sub.NumVertices()
-				}
-				res, err := Compute(sub, algo, subOpts)
+				res, oldID, err := runJob(keep, j.verts)
 				mu.Lock()
-				if err != nil {
+				switch {
+				case err != nil:
 					if firstErr == nil {
 						firstErr = err
 					}
-				} else {
+				case res == nil:
+					// Component too small for any constrained cycle; it stays
+					// counted in SCCSkipped.
+				default:
 					for _, v := range res.Cover {
 						r.Cover = append(r.Cover, oldID[v])
 					}
@@ -158,9 +187,12 @@ func computeParallelWith(g *digraph.Graph, algo Algorithm, opts Options, workers
 					r.Stats.CyclesHit += res.Stats.CyclesHit
 					r.Stats.PruneRemoved += res.Stats.PruneRemoved
 					r.Stats.Detector.Add(res.Stats.Detector)
-					r.Stats.SCCSkipped -= int64(sub.NumVertices())
+					r.Stats.SCCSkipped -= int64(res.Stats.N)
 					if res.Stats.TimedOut {
 						r.Stats.TimedOut = true
+					}
+					if res.Stats.Degraded {
+						r.Stats.Degraded = true
 					}
 				}
 				mu.Unlock()
@@ -175,6 +207,14 @@ func computeParallelWith(g *digraph.Graph, algo Algorithm, opts Options, workers
 	if firstErr != nil {
 		return nil, firstErr
 	}
+	if r.Stats.TimedOut && opts.PartialOnDeadline {
+		// Skipped components joined the cover wholesale, and every
+		// per-component result was itself degraded-valid, so the merged
+		// cover is a valid conservative cover of the whole graph.
+		r.Stats.TimedOut = false
+		r.Stats.Degraded = true
+	}
 	finishStats(r, g, algo, opts, start)
+	stampStopReason(r, opts)
 	return r, nil
 }

@@ -8,6 +8,7 @@ import (
 
 	"tdb/internal/cycle"
 	"tdb/internal/digraph"
+	"tdb/internal/fault"
 )
 
 // This file implements the parallel BFS-filter prepass for TDB++, the first
@@ -71,7 +72,12 @@ func prunedGroup(f *cycle.BatchPrefixFilter, batch []VID, prunedBuf []bool, reso
 // (optional) skips vertices the SCC prefilter already exempted. stop
 // aborts the pass early; an aborted pass is still sound (resolved is only
 // ever set on proof).
-func prepass(g *digraph.Graph, opts Options, order []VID, candidates []bool, stop func() bool, st *Stats, rs *runScratch) []bool {
+//
+// A panic in one worker no longer takes the process down: the worker
+// recovers, its siblings drain, its borrowed scratch is quarantined (never
+// returned to the pool), and the pass reports a PanicError carrying the
+// original stack.
+func prepass(g *digraph.Graph, opts Options, order []VID, candidates []bool, stop func() bool, st *Stats, rs *runScratch) ([]bool, error) {
 	workers := opts.PrepassWorkers
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -143,7 +149,8 @@ func prepass(g *digraph.Graph, opts Options, order []VID, candidates []bool, sto
 	if workers <= 1 {
 		// Single worker runs inline on the run's own scratch: no
 		// goroutines, no atomics — the cost is the filter queries the
-		// sequential loop is about to skip.
+		// sequential loop is about to skip. A panic here propagates on the
+		// calling goroutine as any sequential panic would.
 		f := cycle.NewBatchPrefixFilterWith(g, opts.K, pos, rs.cyc)
 		f.SetLanes(prepassChunk) // cap: one claim chunk fills one widest group
 		var pruned int64
@@ -155,13 +162,14 @@ func prepass(g *digraph.Graph, opts Options, order []VID, candidates []bool, sto
 		}
 		st.PrepassResolved += pruned
 		st.Detector.Add(f.Stats)
-		return resolved
+		return resolved, nil
 	}
 
 	var (
 		next atomic.Int64
 		wg   sync.WaitGroup
 		mu   sync.Mutex
+		trap panicTrap
 	)
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -170,16 +178,27 @@ func prepass(g *digraph.Graph, opts Options, order []VID, candidates []bool, sto
 			var sc *cycle.Scratch
 			if rs.cycPool != nil {
 				sc = rs.cycPool.Get()
-				defer rs.cycPool.Put(sc)
 			}
+			defer func() {
+				if p := recover(); p != nil {
+					// Record the panic and stand the siblings down. sc is
+					// deliberately NOT returned: a scratch abandoned
+					// mid-traversal may hold poisoned marks, and a pooled
+					// poisoned scratch would corrupt a later, unrelated run.
+					trap.capture(p)
+				} else if sc != nil {
+					rs.cycPool.Put(sc)
+				}
+			}()
 			f := cycle.NewBatchPrefixFilterWith(g, opts.K, pos, sc)
 			f.SetLanes(prepassChunk) // cap: one claim chunk fills one widest group
 			var pruned int64
 			for {
 				lo := int(next.Add(prepassChunk)) - prepassChunk
-				if lo >= n || (stop != nil && stop()) {
+				if lo >= n || trap.tripped() || (stop != nil && stop()) {
 					break
 				}
+				fault.Inject("core/prepass-worker")
 				pruned += scan(f, lo, min(lo+prepassChunk, n))
 			}
 			mu.Lock()
@@ -189,5 +208,8 @@ func prepass(g *digraph.Graph, opts Options, order []VID, candidates []bool, sto
 		}()
 	}
 	wg.Wait()
-	return resolved
+	if err := trap.Err(); err != nil {
+		return nil, err
+	}
+	return resolved, nil
 }

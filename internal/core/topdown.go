@@ -134,7 +134,9 @@ func (p *tierProbe) nextStretch(scansSoFar, candsSoFar int64) bool {
 // prepass (see prepass.go) resolves candidates on their prefix graphs
 // before the sequential loop; resolved vertices join the working graph
 // without any per-vertex check.
-func topDown(g *digraph.Graph, algo Algorithm, opts Options, rs *runScratch) *Result {
+//
+// The only error is a recovered prepass-worker panic (a PanicError).
+func topDown(g *digraph.Graph, algo Algorithm, opts Options, rs *runScratch) (*Result, error) {
 	start := time.Now()
 	stop := opts.stop()
 	r := &Result{}
@@ -213,7 +215,11 @@ func topDown(g *digraph.Graph, algo Algorithm, opts Options, rs *runScratch) *Re
 		// identical either way, a single-worker request is downgraded to the
 		// sequential path instead of honored.
 		if w := opts.PrepassWorkers; w > 1 || (w < 0 && runtime.GOMAXPROCS(0) > 1) {
-			resolved = prepass(g, opts, order, candidates, stop, &r.Stats, rs)
+			var err error
+			resolved, err = prepass(g, opts, order, candidates, stop, &r.Stats, rs)
+			if err != nil {
+				return nil, err
+			}
 			// The prepass answers its queries through the batched prefix
 			// filter on any path, one-shot included.
 			r.Stats.FilterBatchWidth = cycle.PickLanes(prepassChunk)
@@ -405,8 +411,15 @@ func topDown(g *digraph.Graph, algo Algorithm, opts Options, rs *runScratch) *Re
 	if scalarFilter != nil {
 		r.Stats.Detector.Add(scalarFilter.Stats)
 	}
+	if r.Stats.TimedOut && opts.PartialOnDeadline {
+		// The stop path above completed the cover conservatively (every
+		// undecided candidate is in it), so the result is a valid —
+		// merely non-minimal — cover: degrade instead of failing.
+		r.Stats.TimedOut = false
+		r.Stats.Degraded = true
+	}
 	finishStats(r, g, algo, opts, start)
-	return r
+	return r, nil
 }
 
 // Unconstrained computes a minimal cover of cycles of every length (the

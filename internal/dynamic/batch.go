@@ -1,10 +1,12 @@
 package dynamic
 
 import (
+	"fmt"
 	"time"
 
 	"tdb/internal/cycle"
 	"tdb/internal/digraph"
+	"tdb/internal/fault"
 )
 
 // The batched update path. A batch applies all structural changes first
@@ -61,11 +63,45 @@ const (
 	batchSweepEdgesPerQuery = 32
 )
 
+// ValidateUpdates checks a batch against the maintainer without applying
+// anything: every update must name an op the maintainer knows and vertices
+// inside the current vertex range. ApplyBatch assumes validated input (an
+// out-of-range vertex is an index panic deep in the adjacency code);
+// boundary layers decoding untrusted batches (tdbserve) call this — or
+// ApplyBatchChecked — to turn malformed input into an error instead.
+func (m *Maintainer) ValidateUpdates(updates []Update) error {
+	for i, up := range updates {
+		if up.Op != OpInsert && up.Op != OpDelete {
+			return fmt.Errorf("dynamic: update %d: unknown op %d", i, up.Op)
+		}
+		if int(up.U) >= m.n || int(up.V) >= m.n {
+			return fmt.Errorf("dynamic: update %d: edge (%d, %d) out of range (graph has %d vertices)",
+				i, up.U, up.V, m.n)
+		}
+	}
+	return nil
+}
+
+// ApplyBatchChecked is ApplyBatch behind ValidateUpdates: malformed batches
+// are rejected as an error with the graph untouched (validation completes
+// before the first structural change).
+func (m *Maintainer) ApplyBatchChecked(updates []Update) ([]VID, error) {
+	if err := m.ValidateUpdates(updates); err != nil {
+		return nil, err
+	}
+	return m.ApplyBatch(updates), nil
+}
+
 // ApplyBatch applies the updates in order and returns the vertices added
 // to the cover, in the order they were added (nil when none). The cover is
 // valid for the post-batch graph; as with DeleteEdge, deletions may leave
-// redundant cover vertices behind until the next Reminimize.
+// redundant cover vertices behind until the next Reminimize. Updates must
+// be in range (see ValidateUpdates / ApplyBatchChecked for untrusted input).
 func (m *Maintainer) ApplyBatch(updates []Update) []VID {
+	// Chaos hook: a panic injected here fails the batch mid-write exactly
+	// like a maintenance bug would; tdbserve's writer must contain it
+	// (see internal/fault and the server chaos suite).
+	fault.Inject("dynamic/apply-batch")
 	var pending []digraph.Edge
 	for _, up := range updates {
 		switch up.Op {

@@ -1,0 +1,170 @@
+package dynamic
+
+import (
+	"sync/atomic"
+
+	"tdb/internal/digraph"
+)
+
+// This file adds MVCC-style epoch publication on top of the Maintainer: a
+// single writer periodically publishes immutable (graph, cover) snapshots
+// into an EpochRing, and any number of readers acquire the current epoch,
+// answer queries against it for as long as they like, and release it. An
+// epoch stays alive — its graph and cover unreachable by neither writer nor
+// GC — until the last reader releases it AND a newer epoch has been
+// published, at which point it is reclaimed exactly once.
+//
+// The scheme is deliberately minimal: one atomic pointer for the current
+// epoch and one reference counter per epoch. The only subtlety is the
+// acquire/reclaim race — a reader may load the current-epoch pointer just
+// as the writer swaps it out and the epoch's count falls to zero. Acquire
+// therefore increments through a CAS loop that refuses counts <= 0 (an
+// epoch at zero is already reclaimed and must never be revived) and
+// re-loads the pointer on refusal; the retry terminates because the freshly
+// published epoch carries the publisher's own reference and cannot hit zero
+// while it is current.
+
+// Epoch is one immutable published snapshot: a compacted CSR graph, a valid
+// hop-constrained cycle cover of it, and an optional caller payload
+// (tdbserve stores the per-epoch core.Engine). Safe for concurrent use; all
+// accessors are read-only.
+type Epoch struct {
+	id      uint64
+	graph   *digraph.Graph
+	cover   []VID
+	payload any
+	refs    atomic.Int64
+	ring    *EpochRing
+}
+
+// ID returns the epoch's sequence number (1 for the ring's first epoch).
+func (e *Epoch) ID() uint64 { return e.id }
+
+// Graph returns the epoch's immutable compacted graph.
+func (e *Epoch) Graph() *digraph.Graph { return e.graph }
+
+// Cover returns the epoch's cover. The slice is shared — callers must not
+// modify it.
+func (e *Epoch) Cover() []VID { return e.cover }
+
+// Payload returns the value the publisher attached to this epoch.
+func (e *Epoch) Payload() any { return e.payload }
+
+// tryRef acquires one reference unless the epoch is already at zero
+// (reclaimed or mid-reclaim) — a reclaimed epoch must never be revived.
+func (e *Epoch) tryRef() bool {
+	for {
+		r := e.refs.Load()
+		if r <= 0 {
+			return false
+		}
+		if e.refs.CompareAndSwap(r, r+1) {
+			return true
+		}
+	}
+}
+
+// Release drops one reference. The reference that hits zero reclaims the
+// epoch: it leaves the ring's live set and the OnReclaim hook (if any) runs
+// on the releasing goroutine. Releasing more than acquired panics — the
+// double release would otherwise silently reclaim an epoch other readers
+// still hold.
+func (e *Epoch) Release() {
+	switch n := e.refs.Add(-1); {
+	case n == 0:
+		e.ring.live.Add(-1)
+		e.ring.reclaimed.Add(1)
+		if f := e.ring.OnReclaim; f != nil {
+			f(e)
+		}
+	case n < 0:
+		panic("dynamic: Epoch.Release without a matching reference")
+	}
+}
+
+// EpochRing tracks the current epoch and the live set. The zero value is
+// NOT ready; use NewEpochRing. Publish must be called from one goroutine at
+// a time (the writer); Acquire/Release are safe from any number of
+// goroutines.
+type EpochRing struct {
+	cur       atomic.Pointer[Epoch]
+	nextID    atomic.Uint64
+	live      atomic.Int64
+	reclaimed atomic.Int64
+
+	// OnPublish and OnReclaim, when non-nil, observe epoch lifecycle:
+	// OnPublish runs on the publishing goroutine right after the new epoch
+	// becomes current (before the previous epoch's publisher reference is
+	// dropped), OnReclaim on whichever goroutine dropped an epoch's last
+	// reference. Set them before the first Publish; they are read without
+	// synchronization afterwards. The chaos suite uses them to audit that
+	// every published epoch is reclaimed exactly once.
+	OnPublish func(*Epoch)
+	OnReclaim func(*Epoch)
+}
+
+// NewEpochRing creates an empty ring (no current epoch; Acquire returns
+// nil until the first Publish).
+func NewEpochRing() *EpochRing { return &EpochRing{} }
+
+// Publish makes (g, cover, payload) the current epoch and returns it. The
+// new epoch carries the publisher's reference — it cannot be reclaimed
+// while current — and the previous epoch loses that reference, so it is
+// reclaimed as soon as its last reader releases it (immediately, when it
+// has none). The caller must not modify g or cover afterwards.
+func (r *EpochRing) Publish(g *digraph.Graph, cover []VID, payload any) *Epoch {
+	e := &Epoch{id: r.nextID.Add(1), graph: g, cover: cover, payload: payload, ring: r}
+	e.refs.Store(1) // the ring's own pin while the epoch is current
+	r.live.Add(1)
+	old := r.cur.Swap(e)
+	if f := r.OnPublish; f != nil {
+		f(e)
+	}
+	if old != nil {
+		old.Release()
+	}
+	return e
+}
+
+// Acquire returns the current epoch with one reference held, or nil when
+// nothing has been published yet. The caller must Release exactly once.
+func (r *EpochRing) Acquire() *Epoch {
+	for {
+		e := r.cur.Load()
+		if e == nil || e.tryRef() {
+			return e
+		}
+		// The epoch was swapped out and reclaimed between the load and the
+		// tryRef; the pointer has necessarily moved on, so reload.
+	}
+}
+
+// Current returns the current epoch's ID, 0 when nothing is published.
+func (r *EpochRing) Current() uint64 {
+	if e := r.cur.Load(); e != nil {
+		return e.id
+	}
+	return 0
+}
+
+// Live returns the number of published epochs not yet reclaimed (the
+// current one plus epochs pinned by slow readers). A drained, idle ring
+// holds exactly 1.
+func (r *EpochRing) Live() int64 { return r.live.Load() }
+
+// Reclaimed returns the total number of epochs reclaimed so far.
+func (r *EpochRing) Reclaimed() int64 { return r.reclaimed.Load() }
+
+// PublishSnapshot compacts the maintainer's current graph and cover and
+// publishes them as a new epoch on ring. payload, when non-nil, builds the
+// epoch's payload from the snapshot (e.g. a core.Engine over the compacted
+// graph). Must be called from the maintainer's single writer.
+func (m *Maintainer) PublishSnapshot(ring *EpochRing, payload func(g *digraph.Graph, cover []VID) any) *Epoch {
+	g := m.Snapshot()
+	cover := m.Cover()
+	var p any
+	if payload != nil {
+		p = payload(g, cover)
+	}
+	return ring.Publish(g, cover, p)
+}

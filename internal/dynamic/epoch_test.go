@@ -1,0 +1,328 @@
+package dynamic
+
+import (
+	"math/rand/v2"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"tdb/internal/core"
+	"tdb/internal/digraph"
+	"tdb/internal/gen"
+	"tdb/internal/verify"
+)
+
+func ringGraph(n int) *digraph.Graph {
+	b := digraph.NewBuilder(n)
+	for i := 0; i < n; i++ {
+		b.AddEdge(VID(i), VID((i+1)%n))
+	}
+	return b.Build()
+}
+
+func TestEpochPublishAcquireRelease(t *testing.T) {
+	r := NewEpochRing()
+	if e := r.Acquire(); e != nil {
+		t.Fatalf("empty ring acquired epoch %d", e.ID())
+	}
+	if r.Current() != 0 || r.Live() != 0 {
+		t.Fatalf("empty ring: Current=%d Live=%d", r.Current(), r.Live())
+	}
+
+	g1 := ringGraph(4)
+	e1 := r.Publish(g1, []VID{0}, "p1")
+	if e1.ID() != 1 || r.Current() != 1 || r.Live() != 1 {
+		t.Fatalf("after first publish: id=%d Current=%d Live=%d", e1.ID(), r.Current(), r.Live())
+	}
+	got := r.Acquire()
+	if got != e1 || got.Graph() != g1 || got.Payload() != "p1" {
+		t.Fatal("Acquire did not return the published epoch")
+	}
+
+	// A second publish drops the ring's pin on e1; the reader's reference
+	// keeps it alive until released.
+	r.Publish(ringGraph(5), []VID{1}, "p2")
+	if r.Live() != 2 || r.Reclaimed() != 0 {
+		t.Fatalf("pinned old epoch: Live=%d Reclaimed=%d, want 2/0", r.Live(), r.Reclaimed())
+	}
+	got.Release()
+	if r.Live() != 1 || r.Reclaimed() != 1 {
+		t.Fatalf("after release: Live=%d Reclaimed=%d, want 1/1", r.Live(), r.Reclaimed())
+	}
+}
+
+func TestEpochUnpinnedPredecessorReclaimedOnPublish(t *testing.T) {
+	r := NewEpochRing()
+	var reclaimed []uint64
+	r.OnReclaim = func(e *Epoch) { reclaimed = append(reclaimed, e.ID()) }
+	r.Publish(ringGraph(3), []VID{0}, nil)
+	r.Publish(ringGraph(3), []VID{0}, nil)
+	r.Publish(ringGraph(3), []VID{0}, nil)
+	if r.Live() != 1 {
+		t.Fatalf("Live=%d after three reader-less publishes, want 1", r.Live())
+	}
+	if len(reclaimed) != 2 || reclaimed[0] != 1 || reclaimed[1] != 2 {
+		t.Fatalf("reclaim order %v, want [1 2]", reclaimed)
+	}
+}
+
+func TestEpochDoubleReleasePanics(t *testing.T) {
+	r := NewEpochRing()
+	r.Publish(ringGraph(3), []VID{0}, nil)
+	e := r.Acquire()
+	e.Release()
+	r.Publish(ringGraph(3), []VID{0}, nil) // e fully reclaimed here
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	e.Release()
+}
+
+// TestEpochAcquireReclaimRace hammers the acquire/reclaim window: a writer
+// publishing in a tight loop against many readers acquiring and releasing.
+// Every published epoch must be reclaimed exactly once (audited through the
+// lifecycle hooks), except the final current one.
+func TestEpochAcquireReclaimRace(t *testing.T) {
+	r := NewEpochRing()
+	var published, reclaims sync.Map // id -> *atomic.Int64 (reclaim count)
+	r.OnPublish = func(e *Epoch) { published.Store(e.ID(), struct{}{}) }
+	r.OnReclaim = func(e *Epoch) {
+		c, _ := reclaims.LoadOrStore(e.ID(), new(atomic.Int64))
+		c.(*atomic.Int64).Add(1)
+	}
+	g := ringGraph(6)
+
+	const rounds = 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				e := r.Acquire()
+				if e == nil {
+					continue
+				}
+				if e.Graph() == nil || len(e.Cover()) != 1 {
+					t.Error("acquired epoch with missing state")
+				}
+				e.Release()
+			}
+		}()
+	}
+	for i := 0; i < rounds; i++ {
+		r.Publish(g, []VID{0}, nil)
+	}
+	close(stop)
+	wg.Wait()
+
+	cur := r.Current()
+	published.Range(func(k, _ any) bool {
+		id := k.(uint64)
+		c, ok := reclaims.Load(id)
+		if id == cur {
+			if ok {
+				t.Errorf("current epoch %d was reclaimed", id)
+			}
+			return true
+		}
+		if !ok {
+			t.Errorf("epoch %d leaked (never reclaimed)", id)
+			return true
+		}
+		if n := c.(*atomic.Int64).Load(); n != 1 {
+			t.Errorf("epoch %d reclaimed %d times", id, n)
+		}
+		return true
+	})
+	if r.Live() != 1 {
+		t.Fatalf("Live=%d after drain, want 1", r.Live())
+	}
+}
+
+// edgeFingerprint summarizes a graph's exact edge set, order-sensitively.
+func edgeFingerprint(g *digraph.Graph) uint64 {
+	var h uint64 = 1469598103934665603
+	for v := 0; v < g.NumVertices(); v++ {
+		for _, w := range g.Out(VID(v)) {
+			h ^= uint64(v)<<32 | uint64(w)
+			h *= 1099511628211
+		}
+	}
+	return h
+}
+
+// TestSnapshotIsolationUnderChurn is the MVCC property test: readers pin
+// epochs and hold them across update batches and compaction storms; a
+// pinned epoch's graph must stay bit-identical and its cover must stay a
+// valid cover OF THAT GRAPH, no matter what the writer does meanwhile.
+func TestSnapshotIsolationUnderChurn(t *testing.T) {
+	const (
+		n      = 200
+		k      = 6
+		rounds = 60
+	)
+	seed := gen.ErdosRenyi(n, 2*n, 41)
+	res, err := core.Compute(seed, core.TDBPlusPlus, core.Options{K: k})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := FromGraph(seed, k, 3, res.Cover)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ring := NewEpochRing()
+	m.PublishSnapshot(ring, nil)
+
+	batches := make(chan struct{})  // writer -> readers: one batch applied
+	holders := make(chan struct{})  // readers -> writer: pinned, go churn
+	released := make(chan struct{}) // readers done with the pinned epoch
+
+	const readers = 4
+	var wg sync.WaitGroup
+	for rd := 0; rd < readers; rd++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				e := ring.Acquire()
+				if e == nil {
+					t.Error("reader found no epoch")
+					return
+				}
+				fp := edgeFingerprint(e.Graph())
+				cov := append([]VID(nil), e.Cover()...)
+				holders <- struct{}{}
+				// Hold the pin across a full churn round (several batches
+				// and, with these sizes, multiple compactions).
+				if _, ok := <-batches; !ok {
+					e.Release()
+					return
+				}
+				if got := edgeFingerprint(e.Graph()); got != fp {
+					t.Errorf("pinned epoch %d mutated under churn", e.ID())
+				}
+				if ok, witness := verify.IsValid(e.Graph(), k, 3, cov); !ok {
+					t.Errorf("pinned epoch %d cover invalid, surviving cycle %v", e.ID(), witness)
+				}
+				e.Release()
+				released <- struct{}{}
+			}
+		}()
+	}
+
+	rng := rand.New(rand.NewPCG(7, 9))
+	for round := 0; round < rounds; round++ {
+		for i := 0; i < readers; i++ {
+			<-holders
+		}
+		// Churn: heavy insert/delete batches, enough per round to trip the
+		// compaction policy repeatedly.
+		for b := 0; b < 4; b++ {
+			ups := make([]Update, 0, 300)
+			for j := 0; j < 300; j++ {
+				u, v := VID(rng.IntN(n)), VID(rng.IntN(n))
+				if rng.IntN(3) == 0 {
+					ups = append(ups, DeleteOp(u, v))
+				} else {
+					ups = append(ups, InsertOp(u, v))
+				}
+			}
+			if _, err := m.ApplyBatchChecked(ups); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m.PublishSnapshot(ring, nil)
+		for i := 0; i < readers; i++ {
+			batches <- struct{}{}
+		}
+		for i := 0; i < readers; i++ {
+			<-released
+		}
+	}
+	for i := 0; i < readers; i++ {
+		<-holders
+	}
+	close(batches)
+	wg.Wait()
+
+	if live := ring.Live(); live != 1 {
+		t.Fatalf("Live=%d after all readers released, want 1", live)
+	}
+	// The final epoch's cover must be valid for its graph — and the
+	// maintainer's own state must agree with what it published.
+	e := ring.Acquire()
+	defer e.Release()
+	if ok, witness := verify.IsValid(e.Graph(), k, 3, e.Cover()); !ok {
+		t.Fatalf("final epoch cover invalid, surviving cycle %v", witness)
+	}
+	if e.Graph().NumEdges() != m.NumEdges() {
+		t.Fatalf("final epoch has %d edges, maintainer %d", e.Graph().NumEdges(), m.NumEdges())
+	}
+}
+
+func TestValidateUpdates(t *testing.T) {
+	m := New(8, 5, 3)
+	good := []Update{InsertOp(0, 1), DeleteOp(7, 3)}
+	if err := m.ValidateUpdates(good); err != nil {
+		t.Fatalf("valid batch rejected: %v", err)
+	}
+	cases := [][]Update{
+		{InsertOp(0, 8)},
+		{InsertOp(8, 0)},
+		{DeleteOp(0, 200)},
+		{{Op: Op(7), U: 0, V: 1}},
+	}
+	for i, ups := range cases {
+		if err := m.ValidateUpdates(ups); err == nil {
+			t.Errorf("case %d: invalid batch accepted", i)
+		}
+		if _, err := m.ApplyBatchChecked(ups); err == nil {
+			t.Errorf("case %d: ApplyBatchChecked accepted invalid batch", i)
+		}
+	}
+	if m.NumEdges() != 0 {
+		t.Fatal("rejected batches mutated the graph")
+	}
+}
+
+// FuzzApplyBatchChecked feeds arbitrary byte-derived batches to the checked
+// application path: whatever the bytes decode to, the maintainer must
+// either reject the batch (leaving the graph untouched) or apply it and
+// keep a valid cover — and never panic.
+func FuzzApplyBatchChecked(f *testing.F) {
+	f.Add([]byte{0, 0, 1, 0, 1, 2, 1, 0, 1})
+	f.Add([]byte{0, 200, 1})        // out-of-range vertex
+	f.Add([]byte{9, 0, 1})          // unknown op
+	f.Add([]byte{0, 3, 3, 0, 5, 5}) // self-loops
+	f.Add([]byte{0, 1, 2, 0, 1, 2}) // duplicate insert
+	f.Fuzz(func(t *testing.T, data []byte) {
+		const n, k = 16, 5
+		m := New(n, k, 3)
+		var ups []Update
+		for i := 0; i+2 < len(data); i += 3 {
+			ups = append(ups, Update{Op: Op(data[i] % 3), U: VID(data[i+1]), V: VID(data[i+2])})
+		}
+		added, err := m.ApplyBatchChecked(ups)
+		if err != nil {
+			if m.NumEdges() != 0 || m.CoverSize() != 0 {
+				t.Fatal("rejected batch mutated the maintainer")
+			}
+			return
+		}
+		if len(added) != m.CoverSize() {
+			t.Fatalf("added %d cover vertices but CoverSize=%d", len(added), m.CoverSize())
+		}
+		if ok, witness := verify.IsValid(m.Snapshot(), k, 3, m.Cover()); !ok {
+			t.Fatalf("cover invalid after batch, surviving cycle %v", witness)
+		}
+	})
+}

@@ -1,0 +1,89 @@
+// Package fault provides build-tag-free fault-injection hooks for the
+// robustness test suites (worker panic isolation, server chaos soak).
+//
+// Production code marks interesting failure points with Inject(site); tests
+// Arm a site with an arbitrary hook — typically one that panics, sleeps, or
+// panics with some probability — and the hook runs inline at the site on
+// whatever goroutine reaches it. Sites are compiled into release binaries
+// on purpose (no build tag): the disarmed fast path is a single atomic load
+// of a package-level counter, cheap enough for the per-chunk/per-request
+// granularity the sites sit at, and keeping the test binary identical to the
+// production one means the chaos suite exercises the exact scheduling the
+// deployment runs.
+package fault
+
+import (
+	"sync"
+	"sync/atomic"
+)
+
+// armed counts currently armed hooks across all sites; Inject returns
+// immediately while it is zero, so disarmed programs pay one atomic load per
+// site visit.
+var armed atomic.Int64
+
+type hook struct {
+	id int64
+	fn func()
+}
+
+var (
+	mu     sync.Mutex
+	nextID int64
+	sites  = map[string][]hook{}
+)
+
+// Inject runs the hooks armed at site, in arming order, on the calling
+// goroutine. A hook that panics panics the caller — that is the point: the
+// site's surrounding recovery (or lack of it) is what the test observes.
+// No-op (one atomic load) when nothing is armed anywhere.
+func Inject(site string) {
+	if armed.Load() == 0 {
+		return
+	}
+	mu.Lock()
+	hooks := sites[site]
+	// Hook slices are copy-on-write (Arm/disarm replace, never mutate), so
+	// the snapshot may be iterated outside the lock and hooks are free to
+	// call Arm or their own disarm.
+	mu.Unlock()
+	for _, h := range hooks {
+		h.fn()
+	}
+}
+
+// Arm installs fn at site and returns its disarm function. Multiple hooks
+// may be armed at one site (they run in arming order); disarm removes only
+// its own hook and is idempotent. Tests should defer the disarm.
+func Arm(site string, fn func()) (disarm func()) {
+	mu.Lock()
+	nextID++
+	id := nextID
+	old := sites[site]
+	replaced := make([]hook, 0, len(old)+1)
+	replaced = append(replaced, old...)
+	sites[site] = append(replaced, hook{id: id, fn: fn})
+	mu.Unlock()
+	armed.Add(1)
+
+	var once sync.Once
+	return func() {
+		once.Do(func() {
+			mu.Lock()
+			old := sites[site]
+			replaced := make([]hook, 0, len(old))
+			for _, h := range old {
+				if h.id != id {
+					replaced = append(replaced, h)
+				}
+			}
+			if len(replaced) == 0 {
+				delete(sites, site)
+			} else {
+				sites[site] = replaced
+			}
+			mu.Unlock()
+			armed.Add(-1)
+		})
+	}
+}

@@ -1,0 +1,88 @@
+package server
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fuzzServer is shared across fuzz iterations: decoding robustness must not
+// depend on a pristine server, and accepted updates deliberately accumulate
+// so later iterations decode against a mutated maintainer. MaxVertices is
+// tiny so a lucky grow_to cannot balloon memory.
+var fuzzServer = sync.OnceValue(func() *Server {
+	s, err := New(Config{
+		NumVertices:     64,
+		K:               5,
+		MaxVertices:     1024,
+		WriteQueue:      1024,
+		DefaultDeadline: time.Second,
+	})
+	if err != nil {
+		panic(err)
+	}
+	return s
+})
+
+// fuzzPost drives one raw body through a handler and fails the iteration if
+// the request tripped the panic-recovery boundary (the server turns handler
+// panics into 500s, which would otherwise mask a decode crash from the
+// fuzzer) or produced a status outside the endpoint's contract.
+func fuzzPost(t *testing.T, path string, body []byte, allowed ...int) {
+	t.Helper()
+	s := fuzzServer()
+	before := s.panicCount.Load()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest(http.MethodPost, path, strings.NewReader(string(body)))
+	s.Handler().ServeHTTP(rec, req)
+	if got := s.panicCount.Load(); got != before {
+		t.Fatalf("%s body %q tripped the panic boundary", path, body)
+	}
+	for _, a := range allowed {
+		if rec.Code == a {
+			return
+		}
+	}
+	t.Fatalf("%s body %q: status %d outside contract %v", path, body, rec.Code, allowed)
+}
+
+// FuzzSolveDecode throws arbitrary bytes at the solve endpoint: the decoder
+// and parameter validation must reject garbage with 400 (or answer 200/504
+// for inputs that happen to parse), never panic, never 500.
+func FuzzSolveDecode(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"k":3,"deadline_ms":10}`))
+	f.Add([]byte(`{"k":-1}`))
+	f.Add([]byte(`{"k":999999999}`))
+	f.Add([]byte(`{"deadline_ms":-5}`))
+	f.Add([]byte(`{"partial_on_deadline":true,"deadline_ms":1}`))
+	f.Add([]byte(`{"k":1e309}`))
+	f.Add([]byte(`[1,2,3]`))
+	f.Add([]byte(`{"k":3}{"k":4}`))
+	f.Add([]byte("\x00\xff garbage"))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		fuzzPost(t, "/v1/solve", body, 200, 400, 504)
+	})
+}
+
+// FuzzUpdateDecode throws arbitrary bytes at the update endpoint: malformed
+// JSON, unknown ops, out-of-range vertices and absurd grow_to must all be
+// rejected with 400, never crash the writer or the decoder. (429 is allowed:
+// fire-and-forget inputs that parse can legitimately fill the write queue.)
+func FuzzUpdateDecode(f *testing.F) {
+	f.Add([]byte(`{"updates":[{"op":"insert","u":0,"v":1}],"wait":true}`))
+	f.Add([]byte(`{"updates":[{"op":"drop","u":0,"v":1}]}`))
+	f.Add([]byte(`{"updates":[{"op":"insert","u":-1,"v":1}],"wait":true}`))
+	f.Add([]byte(`{"updates":[{"op":"insert","u":4294967295,"v":0}],"wait":true}`))
+	f.Add([]byte(`{"grow_to":2147483647}`))
+	f.Add([]byte(`{"grow_to":-3}`))
+	f.Add([]byte(`{"updates":[],"publish":false}`))
+	f.Add([]byte(`{"updates":[{"op":"delete","u":0,"v":0}],"publish":true,"wait":true}`))
+	f.Add([]byte(`nonsense`))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		fuzzPost(t, "/v1/update", body, 200, 202, 400, 429)
+	})
+}

@@ -1,0 +1,86 @@
+package tdb
+
+import (
+	"context"
+	"testing"
+)
+
+// FuzzLabeledStream drives the whole labeled surface from raw bytes: an
+// arbitrary op stream builds a LabeledBuilder graph, solves it with a
+// fuzzer-chosen (possibly absurd) k, seeds a LabeledMaintainer from the
+// result and replays the rest of the stream as a mixed insert/delete batch.
+// Contract under ANY input: absurd parameters error cleanly, nothing ever
+// panics, and every cover handed back — solved or maintained — verifies
+// valid against its graph.
+func FuzzLabeledStream(f *testing.F) {
+	f.Add([]byte{5, 0, 0, 1, 0, 1, 2, 0, 2, 0})          // k=5 triangle
+	f.Add([]byte{3, 0, 7, 7})                            // self-loop
+	f.Add([]byte{0})                                     // k=0: must error
+	f.Add([]byte{255, 0, 1, 2, 1, 1, 2})                 // absurd k, delete
+	f.Add([]byte{6, 0, 0, 1, 0, 1, 0, 2, 3, 3, 1, 0, 1}) // dup edges, isolated, delete
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) == 0 {
+			return
+		}
+		k := int(data[0]) // 0..255: below MinLen, sane, and absurdly large
+		ops := data[1:]
+		if len(ops) > 240 { // bound per-iteration work
+			ops = ops[:240]
+		}
+
+		// Phase 1: build. Labels are single-byte strings, so the interned
+		// universe is small and dense regardless of input.
+		lb := NewLabeledBuilder[string]()
+		var rest [][3]byte // replayed against the maintainer in phase 3
+		for len(ops) >= 3 {
+			op, ub, vb := ops[0]%3, ops[1], ops[2]
+			ops = ops[3:]
+			switch op {
+			case 0:
+				lb.AddEdge(string(ub), string(vb))
+			case 1:
+				lb.Intern(string(ub)) // possibly isolated vertex
+			default:
+				rest = append(rest, [3]byte{op, ub, vb})
+			}
+		}
+		lg := lb.Build()
+
+		res, err := lg.Solve(context.Background(), k)
+		if k < 3 {
+			if err == nil {
+				t.Fatalf("k=%d below minimum cycle length: Solve accepted it", k)
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("k=%d n=%d: %v", k, lg.NumVertices(), err)
+		}
+		if rep := Verify(lg.Graph(), k, 3, res.Raw.Cover, false); !rep.Valid {
+			t.Fatalf("solved cover invalid: surviving cycle %v", rep.Witness)
+		}
+
+		// Phase 2+3: maintain under the remaining stream. Deletes of unknown
+		// labels and re-inserts of duplicates must be absorbed silently.
+		lm, err := lg.Maintainer(k, 3, res.Cover)
+		if err != nil {
+			t.Fatalf("seeding maintainer from its own solve: %v", err)
+		}
+		for i, r := range rest {
+			u, v := string(r[1]), string(r[2])
+			if i%2 == 0 {
+				lm.ApplyBatch([]LabeledUpdate[string]{
+					{Op: UpdateInsert, U: u, V: v},
+					{Op: UpdateDelete, U: v, V: u},
+				})
+			} else {
+				lm.InsertEdge(u, v)
+				lm.DeleteEdge(u, v)
+			}
+		}
+		if rep := lm.Verify(false); !rep.Valid {
+			t.Fatalf("maintained cover invalid after %d replayed ops: surviving cycle %v",
+				len(rest), rep.Witness)
+		}
+	})
+}

@@ -101,6 +101,20 @@ func WithPrepassWorkers(n int) Option {
 	}
 }
 
+// WithPartialOnDeadline degrades instead of failing when the context
+// deadline expires mid-solve: the top-down family returns the cover built so
+// far completed with every still-undecided candidate — a VALID
+// (every constrained cycle covered) but possibly non-minimal cover — with
+// Stats.Degraded set instead of Stats.TimedOut. Solves that finish in time
+// are byte-for-byte unaffected. Only the top-down vertex family (TDB, TDB+,
+// TDB++) supports the contract; bottom-up and DARC solves, whose partial
+// state is not a cover, reject the option with an error, as does
+// WithEdgeCover. This is the serving-layer degradation knob: tdbserve maps
+// it to the partial_on_deadline request field (DESIGN.md §12).
+func WithPartialOnDeadline() Option {
+	return func(c *solveConfig) { c.core.PartialOnDeadline = true }
+}
+
 // WithWorkers sets the worker budget strategy selection plans against and
 // parallel strategies execute with; n <= 0 (the default) selects
 // GOMAXPROCS. One worker forces sequential execution.
