@@ -333,7 +333,7 @@ func compute(g *digraph.Graph, algo Algorithm, opts Options, rs *runScratch) (*R
 	}
 	// Chaos hook: a panic injected here unwinds through the caller exactly
 	// like a solver bug on the request goroutine would (see internal/fault).
-	fault.Inject("core/compute")
+	fault.Inject(fault.SiteCoreCompute)
 	if rs == nil {
 		rs = newRunScratch(g.NumVertices())
 	}

@@ -96,7 +96,7 @@ func computeParallelWith(g *digraph.Graph, algo Algorithm, opts Options, workers
 				res, err = nil, trap.Err()
 			}
 		}()
-		fault.Inject("core/parallel-worker")
+		fault.Inject(fault.SiteCoreParallelWorker)
 		for _, v := range verts {
 			keep[v] = true
 		}

@@ -198,7 +198,7 @@ func prepass(g *digraph.Graph, opts Options, order []VID, candidates []bool, sto
 				if lo >= n || trap.tripped() || (stop != nil && stop()) {
 					break
 				}
-				fault.Inject("core/prepass-worker")
+				fault.Inject(fault.SiteCorePrepassWorker)
 				pruned += scan(f, lo, min(lo+prepassChunk, n))
 			}
 			mu.Lock()

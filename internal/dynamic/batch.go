@@ -101,7 +101,7 @@ func (m *Maintainer) ApplyBatch(updates []Update) []VID {
 	// Chaos hook: a panic injected here fails the batch mid-write exactly
 	// like a maintenance bug would; tdbserve's writer must contain it
 	// (see internal/fault and the server chaos suite).
-	fault.Inject("dynamic/apply-batch")
+	fault.Inject(fault.SiteDynamicApplyBatch)
 	var pending []digraph.Edge
 	for _, up := range updates {
 		switch up.Op {

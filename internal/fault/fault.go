@@ -30,14 +30,14 @@ type hook struct {
 var (
 	mu     sync.Mutex
 	nextID int64
-	sites  = map[string][]hook{}
+	sites  = map[Site][]hook{}
 )
 
 // Inject runs the hooks armed at site, in arming order, on the calling
 // goroutine. A hook that panics panics the caller — that is the point: the
 // site's surrounding recovery (or lack of it) is what the test observes.
 // No-op (one atomic load) when nothing is armed anywhere.
-func Inject(site string) {
+func Inject(site Site) {
 	if armed.Load() == 0 {
 		return
 	}
@@ -55,7 +55,7 @@ func Inject(site string) {
 // Arm installs fn at site and returns its disarm function. Multiple hooks
 // may be armed at one site (they run in arming order); disarm removes only
 // its own hook and is idempotent. Tests should defer the disarm.
-func Arm(site string, fn func()) (disarm func()) {
+func Arm(site Site, fn func()) (disarm func()) {
 	mu.Lock()
 	nextID++
 	id := nextID

@@ -1,0 +1,46 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestSiteRegistry pins the registry invariants the faultsite analyzer
+// leans on: every registered site is non-empty, unique, and follows the
+// <package>/<path> naming convention.
+func TestSiteRegistry(t *testing.T) {
+	seen := map[Site]bool{}
+	for _, s := range Sites() {
+		if s == "" {
+			t.Fatal("empty site name in registry")
+		}
+		if seen[s] {
+			t.Fatalf("duplicate site %q", s)
+		}
+		seen[s] = true
+		if !strings.Contains(string(s), "/") {
+			t.Errorf("site %q does not follow the <package>/<path> convention", s)
+		}
+	}
+	if len(seen) == 0 {
+		t.Fatal("registry is empty")
+	}
+}
+
+// TestArmInjectDisarm exercises the arm/inject/disarm lifecycle against a
+// registered site without leaking arming into other tests.
+func TestArmInjectDisarm(t *testing.T) {
+	var fired int
+	disarm := Arm(SiteCoreCompute, func() { fired++ })
+	Inject(SiteCoreCompute)
+	Inject(SiteServerReader) // not armed: must not fire the hook
+	disarm()
+	disarm() // idempotent
+	Inject(SiteCoreCompute)
+	if fired != 1 {
+		t.Fatalf("hook fired %d times, want 1", fired)
+	}
+	if got := armed.Load(); got != 0 {
+		t.Fatalf("armed count %d after disarm, want 0", got)
+	}
+}

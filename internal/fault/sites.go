@@ -1,0 +1,51 @@
+package fault
+
+// Site names one fault-injection probe point. Production code passes a Site
+// constant declared in THIS file to Inject; the const block below therefore
+// doubles as the registry of every probe compiled into the binary, and the
+// faultsite analyzer (internal/analyzers) rejects Inject calls whose site is
+// an ad-hoc string or a constant declared anywhere else. Keeping the surface
+// in one block is what makes the build-tag-free injection auditable: the
+// chaos suites arm against these names, and a renamed or drive-by site would
+// otherwise silently decouple the tests from the probes.
+type Site string
+
+// The registered probe sites. Naming convention: <package>/<path through the
+// code>, matching the package that calls Inject.
+const (
+	// SiteCoreCompute fires at the top of every sequential cover
+	// computation, inside the panic boundary that quarantines pooled
+	// scratch (core/core.go).
+	SiteCoreCompute Site = "core/compute"
+
+	// SiteCoreParallelWorker fires in each SCC-partitioned cover worker
+	// before it builds its induced subgraph, inside runJob's recover
+	// (core/parallel.go).
+	SiteCoreParallelWorker Site = "core/parallel-worker"
+
+	// SiteCorePrepassWorker fires per claimed chunk in the TDB++ prepass
+	// worker pool, inside the defer that quarantines the worker's scratch
+	// on panic (core/prepass.go).
+	SiteCorePrepassWorker Site = "core/prepass-worker"
+
+	// SiteDynamicApplyBatch fires at the head of Maintainer.ApplyBatch,
+	// under the server writer's rollback-and-replay containment
+	// (dynamic/batch.go).
+	SiteDynamicApplyBatch Site = "dynamic/apply-batch"
+
+	// SiteServerReader fires on every admitted reader request, inside the
+	// per-request recovery that turns a panic into a 500
+	// (server/handlers.go).
+	SiteServerReader Site = "server/reader"
+)
+
+// Sites returns every registered probe site, for audit tests and tooling.
+func Sites() []Site {
+	return []Site{
+		SiteCoreCompute,
+		SiteCoreParallelWorker,
+		SiteCorePrepassWorker,
+		SiteDynamicApplyBatch,
+		SiteServerReader,
+	}
+}

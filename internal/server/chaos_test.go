@@ -79,7 +79,7 @@ func TestChaosSoak(t *testing.T) {
 	// all panic with some probability. math/rand/v2's global functions are
 	// safe for concurrent use.
 	disarms := []func(){
-		fault.Arm(faultSiteReader, func() {
+		fault.Arm(fault.SiteServerReader, func() {
 			switch {
 			case rand.IntN(100) < 4:
 				panic("chaos: reader")

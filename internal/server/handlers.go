@@ -207,7 +207,7 @@ func (s *Server) wrap(method string, readerToken bool, fn func(http.ResponseWrit
 		}()
 		s.served.Add(1)
 		if readerToken {
-			fault.Inject(faultSiteReader)
+			fault.Inject(fault.SiteServerReader)
 		}
 		fn(w, r)
 	}

@@ -402,8 +402,3 @@ func (s *Server) enqueueWrite(req *writeReq) bool {
 		return false
 	}
 }
-
-// faultSiteReader is injected on every admitted reader request, inside the
-// panic-recovery boundary — the chaos suite arms it to prove request
-// isolation.
-const faultSiteReader = "server/reader"

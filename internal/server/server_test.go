@@ -205,7 +205,7 @@ func TestReaderAdmissionControl(t *testing.T) {
 
 	hold := make(chan struct{})
 	entered := make(chan struct{}, 1)
-	disarm := fault.Arm(faultSiteReader, func() {
+	disarm := fault.Arm(fault.SiteServerReader, func() {
 		entered <- struct{}{}
 		<-hold
 	})
@@ -272,7 +272,7 @@ func TestWriterBackpressure(t *testing.T) {
 
 func TestReaderPanicIsolated(t *testing.T) {
 	s := newTestServer(t, Config{K: 5, NumVertices: 4})
-	disarm := fault.Arm(faultSiteReader, func() { panic("injected reader panic") })
+	disarm := fault.Arm(fault.SiteServerReader, func() { panic("injected reader panic") })
 	if code := post(t, s, "/v1/cover", `{}`, nil); code != http.StatusInternalServerError {
 		t.Fatalf("panicking request: %d, want 500", code)
 	}
