@@ -1,0 +1,81 @@
+// Command tdbvet runs the repo's invariant analyzers (internal/analyzers)
+// over package patterns, multichecker-style:
+//
+//	tdbvet [-run epochref,scratchpool] [-list] [packages]
+//
+// With no patterns it checks ./.... Findings print as
+// file:line:col: message [analyzer]. Exit status: 0 clean, 1 findings,
+// 2 usage or load failure. Suppress a single finding, with a recorded
+// reason, via a comment on the flagged line or the line above:
+//
+//	//tdbvet:ignore <analyzer> <reason>
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"tdb/internal/analyzers"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("tdbvet", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	list := fs.Bool("list", false, "list the analyzers and exit")
+	only := fs.String("run", "", "comma-separated analyzer names to run (default: all)")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+
+	suite := analyzers.All()
+	if *list {
+		for _, a := range suite {
+			fmt.Fprintf(stdout, "%-12s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+	if *only != "" {
+		byName := map[string]*analyzers.Analyzer{}
+		for _, a := range suite {
+			byName[a.Name] = a
+		}
+		suite = suite[:0]
+		for _, name := range strings.Split(*only, ",") {
+			a, ok := byName[strings.TrimSpace(name)]
+			if !ok {
+				fmt.Fprintf(stderr, "tdbvet: unknown analyzer %q (use -list)\n", name)
+				return 2
+			}
+			suite = append(suite, a)
+		}
+	}
+
+	patterns := fs.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analyzers.Load(".", patterns...)
+	if err != nil {
+		fmt.Fprintf(stderr, "tdbvet: %v\n", err)
+		return 2
+	}
+	diags, err := analyzers.Run(pkgs, suite)
+	if err != nil {
+		fmt.Fprintf(stderr, "tdbvet: %v\n", err)
+		return 2
+	}
+	for _, d := range diags {
+		fmt.Fprintln(stdout, d)
+	}
+	if len(diags) > 0 {
+		return 1
+	}
+	return 0
+}

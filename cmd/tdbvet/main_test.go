@@ -1,0 +1,68 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListAnalyzers(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("tdbvet -list: exit %d, stderr %q", code, errb.String())
+	}
+	for _, name := range []string{"epochref", "scratchpool", "ctxflow", "atomicfield", "faultsite"} {
+		if !strings.Contains(out.String(), name) {
+			t.Errorf("tdbvet -list output missing %q:\n%s", name, out.String())
+		}
+	}
+}
+
+func TestUnknownAnalyzer(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-run", "nosuch"}, &out, &errb); code != 2 {
+		t.Fatalf("tdbvet -run nosuch: exit %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "unknown analyzer") {
+		t.Errorf("stderr %q does not mention the unknown analyzer", errb.String())
+	}
+}
+
+func TestCleanPackageExitsZero(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"../../internal/fault"}, &out, &errb); code != 0 {
+		t.Fatalf("tdbvet on a clean package: exit %d\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	if out.Len() != 0 {
+		t.Errorf("clean package produced findings:\n%s", out.String())
+	}
+}
+
+func TestViolationExitsOneWithPosition(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"./testdata/src/probe"}, &out, &errb); code != 1 {
+		t.Fatalf("tdbvet on the violation corpus: exit %d, want 1\nstdout: %s\nstderr: %s", code, out.String(), errb.String())
+	}
+	// Position pins file, line AND column of the Inject call in probe.go.
+	if !strings.Contains(out.String(), "probe.go:9:2: fault probe site outside internal/") {
+		t.Errorf("finding missing or mispositioned:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "[faultsite]") {
+		t.Errorf("finding not attributed to faultsite:\n%s", out.String())
+	}
+}
+
+func TestRunFilterSkipsOtherAnalyzers(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"-run", "epochref", "./testdata/src/probe"}, &out, &errb); code != 0 {
+		t.Fatalf("tdbvet -run epochref on a faultsite-only violation: exit %d\nstdout: %s\nstderr: %s",
+			code, out.String(), errb.String())
+	}
+}
+
+func TestBadPatternExitsTwo(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := run([]string{"./does/not/exist"}, &out, &errb); code != 2 {
+		t.Fatalf("tdbvet on a bad pattern: exit %d, want 2\nstdout: %s", code, out.String())
+	}
+}

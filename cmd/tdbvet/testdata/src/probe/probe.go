@@ -1,0 +1,10 @@
+// Package probe is a deliberate faultsite violation: a probe outside
+// internal/. go list wildcards skip testdata directories, so this package
+// is invisible to ./... sweeps and only loaded explicitly by main_test.go.
+package probe
+
+import "tdb/internal/fault"
+
+func Probe() {
+	fault.Inject(fault.SiteCoreCompute)
+}

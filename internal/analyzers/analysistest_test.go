@@ -1,0 +1,164 @@
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// The golden corpus mirrors x/tools' analysistest: each analyzer owns a
+// GOPATH-style tree under testdata/src/<analyzer>/, and every line that
+// must produce a finding carries a trailing
+//
+//	// want "regexp" ["regexp" ...]
+//
+// comment. The test fails on findings with no matching want on their line
+// and on wants no finding matched — so the corpus pins both the positives
+// AND the false-positive set (files with no want comments at all).
+
+// wantRE extracts the quoted patterns of one want comment; patterns are
+// double-quoted or backquoted (backquotes keep regexp escapes readable).
+var wantRE = regexp.MustCompile("// want ((?:(?:\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`)\\s*)+)$")
+
+// wantPatRE matches one quoted pattern inside a want comment.
+var wantPatRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+type want struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// parseWants harvests want comments from every file of pkgs.
+func parseWants(t *testing.T, pkgs []*Package) []*want {
+	t.Helper()
+	var wants []*want
+	harvest := func(pkg *Package, f *ast.File) {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRE.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, q := range wantPatRE.FindAllString(m[1], -1) {
+					pat, err := strconv.Unquote(q)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want pattern %s: %v", pos.Filename, pos.Line, q, err)
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s:%d: bad want regexp %q: %v", pos.Filename, pos.Line, pat, err)
+					}
+					wants = append(wants, &want{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			harvest(pkg, f)
+		}
+		for _, f := range pkg.TestFiles {
+			harvest(pkg, f)
+		}
+	}
+	return wants
+}
+
+// runGolden loads testdata/src/<name> and checks analyzer a against its
+// want comments.
+func runGolden(t *testing.T, a *Analyzer) {
+	t.Helper()
+	pkgs, err := LoadTree("../..", "testdata/src/"+a.Name)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(pkgs, []*Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	wants := parseWants(t, pkgs)
+	for _, d := range diags {
+		found := false
+		for _, w := range wants {
+			if !w.matched && w.file == d.Position.Filename && w.line == d.Position.Line && w.pattern.MatchString(d.Message) {
+				w.matched = true
+				found = true
+				break
+			}
+		}
+		if !found {
+			t.Errorf("unexpected finding: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: no finding matched want %q", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+func TestEpochRefGolden(t *testing.T)    { runGolden(t, EpochRef) }
+func TestScratchPoolGolden(t *testing.T) { runGolden(t, ScratchPool) }
+func TestCtxFlowGolden(t *testing.T)     { runGolden(t, CtxFlow) }
+func TestAtomicFieldGolden(t *testing.T) { runGolden(t, AtomicField) }
+func TestFaultSiteGolden(t *testing.T)   { runGolden(t, FaultSite) }
+
+// TestRepoClean runs the full suite over the real module — the same gate
+// CI applies through cmd/tdbvet. The repo must stay tdbvet-clean: a
+// finding here means either a genuine invariant violation or a missing
+// //tdbvet:ignore with its reason.
+func TestRepoClean(t *testing.T) {
+	pkgs, err := Load("../..", "./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) < 15 {
+		t.Fatalf("loaded only %d packages; the module sweep looks truncated", len(pkgs))
+	}
+	diags, err := Run(pkgs, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, d := range diags {
+		t.Errorf("%s", d)
+	}
+}
+
+// TestSuppressionMalformedAndUnused pins the directive contract on a
+// synthetic corpus: a well-formed directive swallows exactly its finding,
+// a malformed or unused one is itself a finding.
+func TestSuppressionContract(t *testing.T) {
+	pkgs, err := LoadTree("../..", "testdata/src/suppress")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := Run(pkgs, All())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, d := range diags {
+		got = append(got, fmt.Sprintf("%d: %s [%s]", d.Position.Line, d.Message, d.Analyzer))
+	}
+	checks := []struct {
+		substr string
+		want   bool
+	}{
+		{"is never Released", false},        // suppressed by a well-formed directive
+		{"malformed //tdbvet:ignore", true}, // reason missing
+		{"unused //tdbvet:ignore", true},    // suppresses nothing
+		{"may not be Released", true},       // directive names the wrong analyzer
+	}
+	joined := strings.Join(got, "\n")
+	for _, c := range checks {
+		if strings.Contains(joined, c.substr) != c.want {
+			t.Errorf("diagnostics %q: substring %q presence = %v, want %v", joined, c.substr, !c.want, c.want)
+		}
+	}
+}

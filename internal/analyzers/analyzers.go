@@ -1,0 +1,132 @@
+// Package analyzers hosts tdbvet: static analyzers that mechanically
+// enforce the invariants this codebase otherwise maintains by hand and
+// reviewer vigilance — epoch refcounts that must Release on every path,
+// pooled scratch that must never be repooled after a panic, contexts that
+// must flow end-to-end, fields that are either always-atomic or
+// never-atomic, and an auditable fault-injection surface.
+//
+// The suite is deliberately self-contained: it mirrors the shape of
+// golang.org/x/tools/go/analysis (Analyzer, Pass, Reportf, testdata with
+// "// want" expectations) but is built on the standard library only —
+// packages are loaded through `go list -export` and type-checked with the
+// stdlib gc importer — so the checker builds and runs offline with no
+// dependencies beyond the toolchain. If x/tools ever lands in the module,
+// each analyzer ports mechanically: the Run functions only consume
+// *ast.File + *types.Info.
+//
+// Findings are suppressed, one at a time and with a recorded reason, by a
+// comment on the flagged line or the line directly above it:
+//
+//	//tdbvet:ignore <analyzer> <reason>
+//
+// A directive with a missing or unknown analyzer name, an empty reason, or
+// one that suppresses nothing is itself a finding — dead suppressions rot
+// into lies about which invariants the code actually honors.
+package analyzers
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// Analyzer is one named invariant check over a type-checked package.
+type Analyzer struct {
+	Name string
+	Doc  string
+	Run  func(*Pass) error
+}
+
+// Pass carries one package through one analyzer.
+type Pass struct {
+	Analyzer   *Analyzer
+	Fset       *token.FileSet
+	Files      []*ast.File // parsed + type-checked non-test files
+	TestFiles  []*ast.File // parsed, syntax-only (no type info)
+	Pkg        *types.Package
+	TypesInfo  *types.Info
+	ImportPath string
+
+	diags *[]Diagnostic
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Position: p.Fset.Position(pos),
+		Analyzer: p.Analyzer.Name,
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// Diagnostic is one finding, attributed to the analyzer that produced it.
+type Diagnostic struct {
+	Position token.Position
+	Analyzer string
+	Message  string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: %s [%s]", d.Position, d.Message, d.Analyzer)
+}
+
+// All returns the tdbvet suite in a fixed order.
+func All() []*Analyzer {
+	return []*Analyzer{
+		EpochRef,
+		ScratchPool,
+		CtxFlow,
+		AtomicField,
+		FaultSite,
+	}
+}
+
+// Run applies analyzers to pkgs, applies the //tdbvet:ignore directives,
+// and returns the surviving findings sorted by position. Analyzer Run
+// errors (not findings) abort the whole run.
+func Run(pkgs []*Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	known := map[string]bool{}
+	for _, a := range All() {
+		known[a.Name] = true
+	}
+	ran := map[string]bool{}
+	for _, a := range analyzers {
+		ran[a.Name] = true
+	}
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		var pkgDiags []Diagnostic
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:   a,
+				Fset:       pkg.Fset,
+				Files:      pkg.Files,
+				TestFiles:  pkg.TestFiles,
+				Pkg:        pkg.Types,
+				TypesInfo:  pkg.TypesInfo,
+				ImportPath: pkg.ImportPath,
+				diags:      &pkgDiags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.ImportPath, err)
+			}
+		}
+		diags = append(diags, applySuppressions(pkg, known, ran, pkgDiags)...)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Position, diags[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+	return diags, nil
+}

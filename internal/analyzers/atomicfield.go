@@ -1,0 +1,110 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"regexp"
+)
+
+// AtomicField enforces all-or-nothing atomicity per field: a struct field
+// whose address is ever passed to a sync/atomic operation must be accessed
+// through sync/atomic everywhere in the package. A single plain load mixed
+// in (the classic fast-path shortcut) is a data race the race detector
+// only catches when the interleaving happens to fire; the fault-probe fast
+// path and the server counters are exactly the places where it won't.
+// Typed atomics (atomic.Int64 & co.) are immune by construction — this
+// analyzer covers the function-style residue. Initialization through a
+// composite literal is exempt: it happens before the value is shared.
+var AtomicField = &Analyzer{
+	Name: "atomicfield",
+	Doc: "check that fields accessed via sync/atomic are accessed " +
+		"atomically everywhere",
+	Run: runAtomicField,
+}
+
+// atomicFuncRE matches the function-style sync/atomic operations whose
+// first argument is the address of the shared word.
+var atomicFuncRE = regexp.MustCompile(`^(Load|Store|Add|Swap|CompareAndSwap|Or|And)(Int|Uint|Pointer)?(32|64|ptr)?$`)
+
+func runAtomicField(pass *Pass) error {
+	info := pass.TypesInfo
+
+	// Pass 1: fields used atomically, and the selector nodes sanctioned by
+	// appearing as &x.f inside a sync/atomic call.
+	tracked := map[*types.Var]ast.Node{} // field -> one atomic use (for the message)
+	sanctioned := map[*ast.SelectorExpr]bool{}
+	fieldOf := func(e ast.Expr) (*ast.SelectorExpr, *types.Var) {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok {
+			return nil, nil
+		}
+		s := info.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return nil, nil
+		}
+		v, _ := s.Obj().(*types.Var)
+		return sel, v
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || len(call.Args) == 0 {
+				return true
+			}
+			fn, ok := objOf(info, call.Fun).(*types.Func)
+			if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || !atomicFuncRE.MatchString(fn.Name()) {
+				return true
+			}
+			addr, ok := ast.Unparen(call.Args[0]).(*ast.UnaryExpr)
+			if !ok {
+				return true
+			}
+			if sel, v := fieldOf(addr.X); v != nil {
+				sanctioned[sel] = true
+				if _, seen := tracked[v]; !seen {
+					tracked[v] = call
+				}
+			}
+			return true
+		})
+	}
+	if len(tracked) == 0 {
+		return nil
+	}
+
+	// Pass 2: every other access to a tracked field is a plain (racy)
+	// access, except composite-literal initialization.
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || sanctioned[sel] {
+				return true
+			}
+			_, v := fieldOf(sel)
+			if v == nil {
+				return true
+			}
+			if at, ok := tracked[v]; ok {
+				atomicPos := pass.Fset.Position(at.Pos())
+				pass.Reportf(sel.Pos(), "field %s is accessed with sync/atomic at %s:%d: this plain access races with it",
+					v.Name(), shortPath(atomicPos.Filename), atomicPos.Line)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// shortPath trims a filename to its last two path segments for messages.
+func shortPath(p string) string {
+	slash := 0
+	for i := len(p) - 1; i >= 0; i-- {
+		if p[i] == '/' || p[i] == '\\' {
+			slash++
+			if slash == 2 {
+				return p[i+1:]
+			}
+		}
+	}
+	return p
+}

@@ -1,0 +1,88 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// CtxFlow enforces end-to-end context propagation in the serving-path
+// packages (internal/core, internal/dynamic, internal/server): cancellation
+// and deadlines must flow from the HTTP boundary down to every cover
+// computation, so no function on that path may mint its own root context,
+// and exported functions that take a context must take it first (callers
+// grep for the ctx-first shape; a buried context parameter is how a
+// Background() quietly sneaks in at the call site).
+var CtxFlow = &Analyzer{
+	Name: "ctxflow",
+	Doc: "check context discipline on serving-path packages: no " +
+		"context.Background/TODO outside main and tests, context.Context first",
+	Run: runCtxFlow,
+}
+
+// ctxScoped reports whether the package is on the serving path the rule
+// covers. Matched by path segment so the testdata corpus (and a future
+// module rename) scope identically to the real tree.
+func ctxScoped(importPath string) bool {
+	p := importPath + "/"
+	return strings.Contains(p, "internal/core/") ||
+		strings.Contains(p, "internal/dynamic/") ||
+		strings.Contains(p, "internal/server/")
+}
+
+func runCtxFlow(pass *Pass) error {
+	if !ctxScoped(pass.ImportPath) || pass.Pkg.Name() == "main" {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.CallExpr:
+				for _, name := range [2]string{"Background", "TODO"} {
+					if pkgFuncCall(pass.TypesInfo, n, "context", name, false) {
+						pass.Reportf(n.Pos(), "context.%s() severs the caller's cancellation and deadline: thread the request context through instead", name)
+					}
+				}
+			case *ast.FuncDecl:
+				checkCtxFirst(pass, n)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// checkCtxFirst flags exported functions (and methods on exported types)
+// whose context.Context parameter is not the first.
+func checkCtxFirst(pass *Pass, fn *ast.FuncDecl) {
+	if !fn.Name.IsExported() {
+		return
+	}
+	if fn.Recv != nil && len(fn.Recv.List) == 1 {
+		if named := namedOf(pass.TypesInfo.TypeOf(fn.Recv.List[0].Type)); named != nil && !named.Obj().Exported() {
+			return // method on an unexported type: not part of the package surface
+		}
+	}
+	idx := 0
+	for _, field := range fn.Type.Params.List {
+		n := len(field.Names)
+		if n == 0 {
+			n = 1
+		}
+		if isContextType(pass.TypesInfo.TypeOf(field.Type)) && idx > 0 {
+			pass.Reportf(field.Pos(), "context.Context should be the first parameter of exported %s", fn.Name.Name)
+			return
+		}
+		idx += n
+	}
+}
+
+// isContextType reports whether t is context.Context.
+func isContextType(t types.Type) bool {
+	named := namedOf(t)
+	if named == nil {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}

@@ -1,0 +1,30 @@
+package analyzers
+
+// EpochRef enforces the MVCC snapshot refcount discipline from DESIGN §12:
+// every *Epoch obtained from EpochRing.Acquire must reach Release on every
+// path out of the acquiring function, or escape into a carrier that takes
+// over the obligation (returned, stored in a struct/map/channel, or passed
+// to a callee — epochs move across function boundaries by design, unlike
+// pooled scratch). A leaked reference pins the epoch's graph, cover and
+// payload engine forever: the ring's Live() count never returns to
+// baseline and the chaos suite's leak audit fails long after the guilty
+// request is gone.
+var EpochRef = &Analyzer{
+	Name: "epochref",
+	Doc: "check that every EpochRing.Acquire result is Released on all " +
+		"paths or escapes via a carrier",
+	Run: func(pass *Pass) error {
+		runResource(pass, resourceRule{
+			analyzer:       "epochref",
+			recvType:       "EpochRing",
+			acquire:        "Acquire",
+			release:        "Release",
+			releaseOnOwner: false,
+			nilable:        true, // Acquire returns nil before the first Publish
+			argEscapes:     true,
+			what:           "epoch",
+			past:           "Released",
+		})
+		return nil
+	},
+}

@@ -1,0 +1,85 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// FaultSite keeps the build-tag-free fault-injection surface auditable
+// (DESIGN §12): probe sites ship in release binaries, so every one of them
+// must be deliberate, named, and findable. Concretely:
+//
+//   - fault.Inject may only be called from non-test files in packages
+//     under internal/ — a probe in cmd/ or the public API would leak the
+//     chaos surface to users, and a probe in a test file is pointless
+//     (tests ARM hooks; production code hosts the sites);
+//   - the site argument must be a Site constant declared in the fault
+//     package itself — the const block in internal/fault/sites.go IS the
+//     registry, and an ad-hoc string (or a constant squirreled away in
+//     another package) silently decouples the chaos suites from the probe;
+//   - fault.Arm belongs in tests: arming a hook from production code would
+//     turn an inert probe into live behavior.
+var FaultSite = &Analyzer{
+	Name: "faultsite",
+	Doc: "check that fault.Inject sites live under internal/, outside " +
+		"test files, with a registered fault.Site constant",
+	Run: runFaultSite,
+}
+
+func runFaultSite(pass *Pass) error {
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			switch {
+			case pkgFuncCall(info, call, "fault", "Inject", true):
+				if !strings.Contains(pass.ImportPath+"/", "internal/") {
+					pass.Reportf(call.Pos(), "fault probe site outside internal/: injection points must not leak into the public surface")
+				}
+				if len(call.Args) == 1 && !isFaultSiteConst(info, call.Args[0]) {
+					pass.Reportf(call.Pos(), "fault site must be a registered Site constant from the fault package (internal/fault/sites.go), not an ad-hoc name")
+				}
+			case pkgFuncCall(info, call, "fault", "Arm", true):
+				if pass.Pkg.Name() != "fault" {
+					pass.Reportf(call.Pos(), "fault.Arm outside a test arms a chaos hook in production code; only tests arm probes")
+				}
+			}
+			return true
+		})
+	}
+	// Test files are parsed without type information, so the test-file rule
+	// is syntactic: any fault.Inject call in a _test.go file plants a probe
+	// where no chaos suite will ever look for it. The fault package's own
+	// tests are exempt — they exercise the injection plumbing itself.
+	if pass.Pkg.Name() == "fault" {
+		return nil
+	}
+	for _, f := range pass.TestFiles {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+			if !ok || sel.Sel.Name != "Inject" {
+				return true
+			}
+			if id, ok := sel.X.(*ast.Ident); ok && id.Name == "fault" {
+				pass.Reportf(call.Pos(), "fault.Inject in a test file: tests arm hooks on registered sites (fault.Arm); probe sites live in production code")
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+// isFaultSiteConst reports whether e resolves to a constant declared in a
+// package named fault.
+func isFaultSiteConst(info *types.Info, e ast.Expr) bool {
+	c, ok := objOf(info, e).(*types.Const)
+	return ok && c.Pkg() != nil && c.Pkg().Name() == "fault"
+}

@@ -1,0 +1,581 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// resourceRule parameterizes the shared acquire/discharge path walker:
+// epochref tracks EpochRing.Acquire -> Epoch.Release, scratchpool tracks
+// ScratchPool.Get -> ScratchPool.Put. The walker is a pragmatic syntactic
+// path analysis in the spirit of vet's lostcancel, not a full CFG: it
+// reports an acquire whose result can reach a return statement or the end
+// of the function with no discharge, deferred discharge, or escape on that
+// path. It prefers precision to soundness — borderline shapes (discharge
+// inside a loop, goto) are given the benefit of the doubt, and genuine
+// exceptions carry a //tdbvet:ignore with the reason.
+type resourceRule struct {
+	analyzer string
+	recvType string // named type owning the acquire method
+	acquire  string // acquire method name
+	release  string // discharge method name
+	// releaseOnOwner: discharge is owner.Put(res) rather than res.Release().
+	releaseOnOwner bool
+	// nilable: acquire may return nil, so paths under `if res == nil` need
+	// no discharge.
+	nilable bool
+	// argEscapes: passing res as a bare call argument transfers ownership
+	// (epochs move into carriers); when false an argument is a borrow
+	// (detectors borrow scratch) and the caller still owes the discharge.
+	argEscapes bool
+	what       string // human-readable resource name for messages
+	past       string // past tense of the discharge for messages ("Released", "Put back")
+}
+
+// runResource applies rule to every function in the pass.
+func runResource(pass *Pass, rule resourceRule) {
+	for _, f := range pass.Files {
+		funcBodies(f, func(name string, body *ast.BlockStmt) {
+			checkBody(pass, rule, body)
+		})
+	}
+}
+
+// acquireOf matches `res := owner.Acquire()` shapes and returns the bound
+// object, or reports immediately when the result is discarded.
+func checkBody(pass *Pass, rule resourceRule, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+	// Collect the acquire statements directly contained in this function
+	// body (nested function literals are separate functions).
+	type acquisition struct {
+		stmt ast.Stmt
+		obj  types.Object
+		pos  token.Pos
+	}
+	var acqs []acquisition
+	var visitStmts func(list []ast.Stmt)
+	visitStmt := func(s ast.Stmt) {
+		switch s := s.(type) {
+		case *ast.AssignStmt:
+			if len(s.Rhs) != 1 {
+				return
+			}
+			call, ok := ast.Unparen(s.Rhs[0]).(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			if _, ok := methodCall(info, call, rule.recvType, rule.acquire); !ok {
+				return
+			}
+			if len(s.Lhs) != 1 {
+				return
+			}
+			switch lhs := s.Lhs[0].(type) {
+			case *ast.Ident:
+				if lhs.Name == "_" {
+					pass.Reportf(call.Pos(), "result of %s.%s is discarded: the %s can never be %s",
+						rule.recvType, rule.acquire, rule.what, rule.past)
+					return
+				}
+				obj := info.Defs[lhs]
+				if obj == nil {
+					obj = info.Uses[lhs] // plain `=` assignment to an existing var
+				}
+				if obj != nil {
+					acqs = append(acqs, acquisition{stmt: s, obj: obj, pos: call.Pos()})
+				}
+			default:
+				// Acquired straight into a field or element: an immediate
+				// escape into a carrier; ownership is the carrier's.
+			}
+		case *ast.ExprStmt:
+			if call, ok := ast.Unparen(s.X).(*ast.CallExpr); ok {
+				if _, ok := methodCall(info, call, rule.recvType, rule.acquire); ok {
+					pass.Reportf(call.Pos(), "result of %s.%s is discarded: the %s can never be %s",
+						rule.recvType, rule.acquire, rule.what, rule.past)
+				}
+			}
+		}
+	}
+	visitStmts = func(list []ast.Stmt) {
+		for _, s := range list {
+			visitStmt(s)
+			switch s := s.(type) {
+			case *ast.BlockStmt:
+				visitStmts(s.List)
+			case *ast.IfStmt:
+				if s.Init != nil {
+					visitStmt(s.Init)
+				}
+				visitStmts(s.Body.List)
+				if s.Else != nil {
+					visitStmts([]ast.Stmt{s.Else})
+				}
+			case *ast.ForStmt:
+				if s.Init != nil {
+					visitStmt(s.Init)
+				}
+				visitStmts(s.Body.List)
+			case *ast.RangeStmt:
+				visitStmts(s.Body.List)
+			case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+				var bodies []*ast.BlockStmt
+				switch s := s.(type) {
+				case *ast.SwitchStmt:
+					bodies = append(bodies, s.Body)
+				case *ast.TypeSwitchStmt:
+					bodies = append(bodies, s.Body)
+				case *ast.SelectStmt:
+					bodies = append(bodies, s.Body)
+				}
+				for _, b := range bodies {
+					for _, clause := range b.List {
+						switch c := clause.(type) {
+						case *ast.CaseClause:
+							visitStmts(c.Body)
+						case *ast.CommClause:
+							visitStmts(c.Body)
+						}
+					}
+				}
+			case *ast.LabeledStmt:
+				visitStmts([]ast.Stmt{s.Stmt})
+			}
+		}
+	}
+	visitStmts(body.List)
+
+	for _, acq := range acqs {
+		t := &rtracker{pass: pass, rule: rule, obj: acq.obj, acquire: acq.stmt, acqPos: acq.pos}
+		t.check(body)
+	}
+}
+
+// rtracker walks one function body tracking one acquired resource.
+type rtracker struct {
+	pass    *Pass
+	rule    resourceRule
+	obj     types.Object
+	acquire ast.Stmt
+	acqPos  token.Pos
+
+	doneForever bool // a deferred discharge covers every later exit
+	bailed      bool // goto encountered: give up on this function
+	reported    bool
+}
+
+type rstate struct {
+	active bool // the acquire statement has executed on this path
+	done   bool // no live, undischarged resource on this path
+}
+
+func (t *rtracker) check(body *ast.BlockStmt) {
+	// Fast path: a resource that is never discharged or escaped anywhere
+	// in the function gets one report at the acquire site instead of one
+	// per return.
+	any := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if any {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.CallExpr:
+			if t.isDischarge(n) {
+				any = true
+			}
+		}
+		if n != nil && t.isEscapeNode(n) {
+			any = true
+		}
+		return !any
+	})
+	if !any {
+		t.pass.Reportf(t.acqPos, "%s acquired here is never %s and never escapes: it leaks on every path",
+			t.rule.what, t.rule.past)
+		return
+	}
+
+	// A deferred discharge registered BEFORE the acquire covers it too
+	// (`var e *E; defer func() { e.Release() }(); e = ring.Acquire()`);
+	// the positional walk below only sees defers after the acquire.
+	ast.Inspect(body, func(n ast.Node) bool {
+		if d, ok := n.(*ast.DeferStmt); ok && d.Pos() < t.acqPos && t.deferDischarges(d) {
+			t.doneForever = true
+		}
+		return !t.doneForever
+	})
+
+	st, terminated := t.walkStmts(body.List, rstate{done: true})
+	if t.bailed || t.reported {
+		return
+	}
+	if !terminated && st.active && !st.done && !t.doneForever {
+		t.pass.Reportf(t.acqPos, "%s acquired here may not be %s when the function falls off the end",
+			t.rule.what, t.rule.past)
+	}
+}
+
+// isDischarge reports whether call discharges the tracked resource:
+// res.Release() (method on the resource) or owner.Put(res) (method on the
+// owner taking the resource).
+func (t *rtracker) isDischarge(call *ast.CallExpr) bool {
+	info := t.pass.TypesInfo
+	if t.rule.releaseOnOwner {
+		if _, ok := methodCall(info, call, t.rule.recvType, t.rule.release); !ok {
+			return false
+		}
+		for _, arg := range call.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && info.Uses[id] == t.obj {
+				return true
+			}
+		}
+		return false
+	}
+	recv, ok := methodCall(info, call, t.resourceTypeName(), t.rule.release)
+	if !ok {
+		return false
+	}
+	id, ok := ast.Unparen(recv).(*ast.Ident)
+	return ok && info.Uses[id] == t.obj
+}
+
+// resourceTypeName derives the tracked resource's named type from the
+// acquired object (so fakes in testdata match without hardcoding).
+func (t *rtracker) resourceTypeName() string {
+	if named := namedOf(t.obj.Type()); named != nil {
+		return named.Obj().Name()
+	}
+	return ""
+}
+
+// isEscapeNode reports whether n on its own transfers ownership of the
+// resource out of the function: returning it, storing it into a field,
+// element or channel, wrapping it in a composite literal, handing it to a
+// goroutine or a closure that outlives the frame, or (for rules with
+// argEscapes) passing it to any call.
+func (t *rtracker) isEscapeNode(n ast.Node) bool {
+	info := t.pass.TypesInfo
+	switch n := n.(type) {
+	case *ast.ReturnStmt:
+		for _, r := range n.Results {
+			if mentionsBeyondReceiver(info, r, t.obj) {
+				return true
+			}
+		}
+	case *ast.AssignStmt:
+		for i, lhs := range n.Lhs {
+			if i < len(n.Rhs) && mentionsBeyondReceiver(info, n.Rhs[i], t.obj) {
+				switch ast.Unparen(lhs).(type) {
+				case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+					return true
+				}
+			}
+		}
+		if len(n.Rhs) == 1 && len(n.Lhs) > 1 && mentionsBeyondReceiver(info, n.Rhs[0], t.obj) {
+			return true // multi-assign from one call mentioning the resource
+		}
+	case *ast.SendStmt:
+		if mentionsBeyondReceiver(info, n.Value, t.obj) {
+			return true
+		}
+	case *ast.CompositeLit:
+		for _, e := range n.Elts {
+			v := e
+			if kv, ok := e.(*ast.KeyValueExpr); ok {
+				v = kv.Value
+			}
+			if id, ok := ast.Unparen(v).(*ast.Ident); ok && info.Uses[id] == t.obj {
+				return true
+			}
+		}
+	case *ast.GoStmt:
+		if usesObject(info, n.Call, t.obj) {
+			return true
+		}
+	case *ast.FuncLit:
+		// A closure mentioning the resource may store or discharge it
+		// later; treated as an escape to keep the walker precise. The
+		// deferred-closure case is handled by walkStmt's DeferStmt arm
+		// before descending here.
+		if usesObject(info, n.Body, t.obj) {
+			return true
+		}
+	case *ast.CallExpr:
+		if t.isDischarge(n) {
+			return false
+		}
+		if !t.rule.argEscapes {
+			return false
+		}
+		for _, arg := range n.Args {
+			if id, ok := ast.Unparen(arg).(*ast.Ident); ok && info.Uses[id] == t.obj {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// scanEvents inspects one statement (not descending into nested statements
+// or function literals handled elsewhere) and updates st for discharges
+// and escapes.
+func (t *rtracker) scanEvents(n ast.Node, st *rstate) {
+	if n == nil || !st.active {
+		return
+	}
+	ast.Inspect(n, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok && t.isDischarge(call) {
+			st.done = true
+			return true
+		}
+		if t.isEscapeNode(n) {
+			st.done = true
+			if _, ok := n.(*ast.FuncLit); ok {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+// nilGuard classifies cond as a nil test of the tracked resource.
+// Returns +1 for `res == nil`, -1 for `res != nil`, 0 otherwise.
+func (t *rtracker) nilGuard(cond ast.Expr) int {
+	if !t.rule.nilable {
+		return 0
+	}
+	bin, ok := ast.Unparen(cond).(*ast.BinaryExpr)
+	if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+		return 0
+	}
+	isRes := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && t.pass.TypesInfo.Uses[id] == t.obj
+	}
+	isNil := func(e ast.Expr) bool {
+		id, ok := ast.Unparen(e).(*ast.Ident)
+		return ok && id.Name == "nil"
+	}
+	if (isRes(bin.X) && isNil(bin.Y)) || (isNil(bin.X) && isRes(bin.Y)) {
+		if bin.Op == token.EQL {
+			return 1
+		}
+		return -1
+	}
+	return 0
+}
+
+// walkStmts walks a statement list, returning the fall-through state and
+// whether every path through the list terminates (returns or panics).
+func (t *rtracker) walkStmts(list []ast.Stmt, st rstate) (rstate, bool) {
+	for _, s := range list {
+		var term bool
+		st, term = t.walkStmt(s, st)
+		if term || t.bailed {
+			return st, term
+		}
+	}
+	return st, false
+}
+
+func (t *rtracker) walkStmt(s ast.Stmt, st rstate) (rstate, bool) {
+	if t.bailed {
+		return st, false
+	}
+	if s == t.acquire {
+		st.active = true
+		st.done = false
+		return st, false
+	}
+	switch s := s.(type) {
+	case *ast.AssignStmt, *ast.ExprStmt, *ast.DeclStmt, *ast.IncDecStmt, *ast.SendStmt:
+		if call, ok := panicCall(s); ok {
+			_ = call
+			return st, true // panic terminates the path; defers own cleanup
+		}
+		t.scanEvents(s, &st)
+		return st, false
+	case *ast.DeferStmt:
+		if !st.active {
+			return st, false
+		}
+		if t.deferDischarges(s) {
+			t.doneForever = true
+			st.done = true
+			return st, false
+		}
+		t.scanEvents(s, &st)
+		return st, false
+	case *ast.GoStmt:
+		t.scanEvents(s, &st)
+		return st, false
+	case *ast.ReturnStmt:
+		for _, r := range s.Results {
+			if mentionsBeyondReceiver(t.pass.TypesInfo, r, t.obj) {
+				return st, true // escapes via the return value
+			}
+		}
+		t.scanEvents(s, &st) // a call in the results may discharge
+		if st.active && !st.done && !t.doneForever {
+			t.reported = true
+			t.pass.Reportf(s.Pos(), "%s acquired on line %d may not be %s on this return path",
+				t.rule.what, t.pass.Fset.Position(t.acqPos).Line, t.rule.past)
+		}
+		return st, true
+	case *ast.BlockStmt:
+		return t.walkStmts(s.List, st)
+	case *ast.IfStmt:
+		if s.Init != nil {
+			st, _ = t.walkStmt(s.Init, st)
+		}
+		t.scanEvents(s.Cond, &st)
+		thenSt, elseSt := st, st
+		switch t.nilGuard(s.Cond) {
+		case 1: // res == nil
+			if st.active {
+				thenSt.done = true
+			}
+		case -1: // res != nil
+			if st.active {
+				elseSt.done = true
+			}
+		}
+		thenOut, thenTerm := t.walkStmts(s.Body.List, thenSt)
+		elseOut, elseTerm := elseSt, false
+		if s.Else != nil {
+			elseOut, elseTerm = t.walkStmt(s.Else, elseSt)
+		}
+		switch {
+		case thenTerm && elseTerm:
+			return st, true
+		case thenTerm:
+			return elseOut, false
+		case elseTerm:
+			return thenOut, false
+		default:
+			merged := rstate{
+				active: thenOut.active || elseOut.active,
+				done:   thenOut.done && elseOut.done,
+			}
+			return merged, false
+		}
+	case *ast.ForStmt:
+		if s.Init != nil {
+			st, _ = t.walkStmt(s.Init, st)
+		}
+		t.scanEvents(s.Cond, &st)
+		bodyOut, _ := t.walkStmts(s.Body.List, st)
+		return rstate{
+			active: st.active || bodyOut.active,
+			done:   st.done && bodyOut.done,
+		}, false
+	case *ast.RangeStmt:
+		t.scanEvents(s.X, &st)
+		bodyOut, _ := t.walkStmts(s.Body.List, st)
+		return rstate{
+			active: st.active || bodyOut.active,
+			done:   st.done && bodyOut.done,
+		}, false
+	case *ast.SwitchStmt:
+		return t.walkCases(s.Init, s.Tag, s.Body, st)
+	case *ast.TypeSwitchStmt:
+		return t.walkCases(s.Init, nil, s.Body, st)
+	case *ast.SelectStmt:
+		return t.walkCases(nil, nil, s.Body, st)
+	case *ast.LabeledStmt:
+		return t.walkStmt(s.Stmt, st)
+	case *ast.BranchStmt:
+		if s.Tok == token.GOTO {
+			t.bailed = true
+		}
+		return st, false
+	}
+	return st, false
+}
+
+// walkCases handles switch/type-switch/select clause bodies.
+func (t *rtracker) walkCases(init ast.Stmt, tag ast.Expr, body *ast.BlockStmt, st rstate) (rstate, bool) {
+	if init != nil {
+		st, _ = t.walkStmt(init, st)
+	}
+	if tag != nil {
+		t.scanEvents(tag, &st)
+	}
+	hasDefault := false
+	out := st
+	first := true
+	allTerm := true
+	for _, clause := range body.List {
+		var stmts []ast.Stmt
+		switch c := clause.(type) {
+		case *ast.CaseClause:
+			if c.List == nil {
+				hasDefault = true
+			}
+			stmts = c.Body
+		case *ast.CommClause:
+			if c.Comm == nil {
+				hasDefault = true
+			} else {
+				t.scanEvents(c.Comm, &st)
+			}
+			stmts = c.Body
+		}
+		cOut, cTerm := t.walkStmts(stmts, st)
+		if !cTerm {
+			allTerm = false
+			if first {
+				out = cOut
+				first = false
+			} else {
+				out = rstate{active: out.active || cOut.active, done: out.done && cOut.done}
+			}
+		}
+	}
+	if hasDefault && allTerm && len(body.List) > 0 {
+		return st, true
+	}
+	if !hasDefault {
+		// The zero-case path falls through untouched.
+		out = rstate{active: out.active || st.active, done: out.done && st.done}
+	}
+	return out, false
+}
+
+// deferDischarges reports whether the deferred call discharges the
+// resource, directly (`defer e.Release()`) or anywhere inside a deferred
+// closure (`defer func() { ... pool.Put(sc) ... }()`).
+func (t *rtracker) deferDischarges(d *ast.DeferStmt) bool {
+	if t.isDischarge(d.Call) {
+		return true
+	}
+	if lit, ok := ast.Unparen(d.Call.Fun).(*ast.FuncLit); ok {
+		found := false
+		ast.Inspect(lit.Body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && t.isDischarge(call) {
+				found = true
+			}
+			return !found
+		})
+		return found
+	}
+	return false
+}
+
+// panicCall matches a statement that is a bare panic(...) call.
+func panicCall(s ast.Stmt) (*ast.CallExpr, bool) {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return nil, false
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return nil, false
+	}
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok || id.Name != "panic" {
+		return nil, false
+	}
+	return call, true
+}

@@ -1,0 +1,311 @@
+package analyzers
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// Package is one loaded, type-checked target package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Fset       *token.FileSet
+	Files      []*ast.File // non-test files, type-checked
+	TestFiles  []*ast.File // _test.go files, parsed only (syntax checks)
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// newInfo allocates the types.Info maps every analyzer consumes.
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+	}
+}
+
+// listedPkg is the subset of `go list -json` output the loaders consume.
+type listedPkg struct {
+	ImportPath  string
+	Dir         string
+	GoFiles     []string
+	TestGoFiles []string
+	Export      string
+	DepOnly     bool
+	Standard    bool
+	Incomplete  bool
+	Error       *struct{ Err string }
+}
+
+// goList runs `go list -e -deps -export -json` for patterns in dir and
+// decodes the package stream.
+func goList(dir string, patterns []string) ([]listedPkg, error) {
+	args := append([]string{
+		"list", "-e", "-deps", "-export",
+		"-json=ImportPath,Dir,GoFiles,TestGoFiles,Export,DepOnly,Standard,Incomplete,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var pkgs []listedPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listedPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		pkgs = append(pkgs, p)
+	}
+	return pkgs, nil
+}
+
+// exportImporter returns a gc-export-data importer over path -> export
+// file, as produced by `go list -export`.
+func exportImporter(fset *token.FileSet, exports map[string]string) types.Importer {
+	return importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+}
+
+// Load loads and type-checks the packages matching patterns, resolved from
+// dir (a directory inside the module). Dependencies come from compiler
+// export data via `go list -export`, so loading works offline on a warm
+// build cache; test files are parsed for the syntax-only checks but are not
+// type-checked.
+func Load(dir string, patterns ...string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	exports := map[string]string{}
+	var targets []listedPkg
+	for _, p := range listed {
+		if p.Export != "" {
+			exports[p.ImportPath] = p.Export
+		}
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		if p.Error != nil {
+			return nil, fmt.Errorf("go list: %s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Incomplete {
+			return nil, fmt.Errorf("go list: %s: incomplete package", p.ImportPath)
+		}
+		targets = append(targets, p)
+	}
+	if len(targets) == 0 {
+		return nil, fmt.Errorf("no packages match %s", strings.Join(patterns, " "))
+	}
+
+	fset := token.NewFileSet()
+	imp := exportImporter(fset, exports)
+	var out []*Package
+	for _, t := range targets {
+		pkg := &Package{ImportPath: t.ImportPath, Dir: t.Dir, Fset: fset}
+		var astFiles []*ast.File
+		for _, name := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			astFiles = append(astFiles, f)
+		}
+		for _, name := range t.TestGoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, name), nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			pkg.TestFiles = append(pkg.TestFiles, f)
+		}
+		if len(astFiles) == 0 {
+			continue
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(t.ImportPath, fset, astFiles, info)
+		if err != nil {
+			return nil, fmt.Errorf("type-checking %s: %v", t.ImportPath, err)
+		}
+		pkg.Files = astFiles
+		pkg.Types = tpkg
+		pkg.TypesInfo = info
+		out = append(out, pkg)
+	}
+	return out, nil
+}
+
+// treeLoader type-checks a GOPATH-style source tree (testdata/src/...):
+// import paths resolve to directories under root, and anything else is
+// treated as a standard-library import satisfied from export data.
+type treeLoader struct {
+	root    string
+	fset    *token.FileSet
+	std     types.Importer
+	checked map[string]*Package
+	parsing map[string]bool
+}
+
+func (l *treeLoader) Import(path string) (*types.Package, error) {
+	if _, err := os.Stat(filepath.Join(l.root, filepath.FromSlash(path))); err == nil {
+		pkg, err := l.load(path)
+		if err != nil {
+			return nil, err
+		}
+		return pkg.Types, nil
+	}
+	return l.std.Import(path)
+}
+
+func (l *treeLoader) load(path string) (*Package, error) {
+	if pkg, ok := l.checked[path]; ok {
+		return pkg, nil
+	}
+	if l.parsing[path] {
+		return nil, fmt.Errorf("import cycle through %q", path)
+	}
+	l.parsing[path] = true
+	defer delete(l.parsing, path)
+
+	dir := filepath.Join(l.root, filepath.FromSlash(path))
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	pkg := &Package{ImportPath: path, Dir: dir, Fset: l.fset}
+	var astFiles []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") {
+			continue
+		}
+		f, err := parser.ParseFile(l.fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		if strings.HasSuffix(e.Name(), "_test.go") {
+			pkg.TestFiles = append(pkg.TestFiles, f)
+		} else {
+			astFiles = append(astFiles, f)
+		}
+	}
+	if len(astFiles) == 0 {
+		return nil, fmt.Errorf("no Go files in %s", dir)
+	}
+	info := newInfo()
+	conf := types.Config{Importer: l}
+	tpkg, err := conf.Check(path, l.fset, astFiles, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", path, err)
+	}
+	pkg.Files = astFiles
+	pkg.Types = tpkg
+	pkg.TypesInfo = info
+	l.checked[path] = pkg
+	return pkg, nil
+}
+
+// LoadTree loads every package in the GOPATH-style tree rooted at root
+// (each directory with Go files is a package whose import path is its
+// path relative to root). Standard-library imports are resolved from
+// export data; moduleDir anchors the `go list` that produces it.
+func LoadTree(moduleDir, root string) ([]*Package, error) {
+	var dirs []string
+	stdImports := map[string]bool{}
+	err := filepath.Walk(root, func(path string, fi os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if fi.IsDir() {
+			return nil
+		}
+		if !strings.HasSuffix(path, ".go") {
+			return nil
+		}
+		dir := filepath.Dir(path)
+		if len(dirs) == 0 || dirs[len(dirs)-1] != dir {
+			dirs = append(dirs, dir)
+		}
+		// Pre-scan imports so one `go list` call fetches every stdlib
+		// dependency's export data up front.
+		f, err := parser.ParseFile(token.NewFileSet(), path, nil, parser.ImportsOnly)
+		if err != nil {
+			return err
+		}
+		for _, imp := range f.Imports {
+			p := strings.Trim(imp.Path.Value, `"`)
+			if _, statErr := os.Stat(filepath.Join(root, filepath.FromSlash(p))); statErr != nil {
+				stdImports[p] = true
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	sort.Strings(dirs)
+
+	fset := token.NewFileSet()
+	exports := map[string]string{}
+	if len(stdImports) > 0 {
+		var paths []string
+		for p := range stdImports {
+			paths = append(paths, p)
+		}
+		sort.Strings(paths)
+		listed, err := goList(moduleDir, paths)
+		if err != nil {
+			return nil, err
+		}
+		for _, p := range listed {
+			if p.Export != "" {
+				exports[p.ImportPath] = p.Export
+			}
+		}
+	}
+	loader := &treeLoader{
+		root:    root,
+		fset:    fset,
+		std:     exportImporter(fset, exports),
+		checked: map[string]*Package{},
+		parsing: map[string]bool{},
+	}
+	var out []*Package
+	for _, dir := range dirs {
+		rel, err := filepath.Rel(root, dir)
+		if err != nil {
+			return nil, err
+		}
+		pkg, err := loader.load(filepath.ToSlash(rel))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, pkg)
+	}
+	return out, nil
+}

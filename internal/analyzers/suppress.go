@@ -1,0 +1,106 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// ignorePrefix introduces a suppression directive. The full grammar is
+//
+//	//tdbvet:ignore <analyzer> <reason>
+//
+// placed either on the line being flagged or alone on the line directly
+// above it. One directive silences exactly one analyzer on exactly one
+// line; the reason is mandatory and free-form.
+const ignorePrefix = "tdbvet:ignore"
+
+// directive is one parsed //tdbvet:ignore comment.
+type directive struct {
+	pos      token.Position
+	analyzer string // "" when malformed
+	reason   string
+	used     bool
+}
+
+// applySuppressions drops findings covered by a well-formed directive on
+// the same or the preceding line, and adds "tdbvet" findings for malformed
+// or unused directives. known maps every valid analyzer name (the whole
+// suite, so a -run filter does not turn valid directives into malformed
+// ones); ran maps the analyzers of this run (a directive is only "unused"
+// when its analyzer actually ran and produced nothing to suppress).
+func applySuppressions(pkg *Package, known, ran map[string]bool, diags []Diagnostic) []Diagnostic {
+	// file -> line -> directive on that line.
+	byLine := map[string]map[int]*directive{}
+	var all []*directive
+	collect := func(f *ast.File) {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, "//"+ignorePrefix)
+				if !ok {
+					continue
+				}
+				d := &directive{pos: pkg.Fset.Position(c.Pos())}
+				fields := strings.Fields(text)
+				if len(fields) >= 1 {
+					d.analyzer = fields[0]
+				}
+				if len(fields) >= 2 {
+					d.reason = strings.Join(fields[1:], " ")
+				}
+				all = append(all, d)
+				m := byLine[d.pos.Filename]
+				if m == nil {
+					m = map[int]*directive{}
+					byLine[d.pos.Filename] = m
+				}
+				m[d.pos.Line] = d
+			}
+		}
+	}
+	for _, f := range pkg.Files {
+		collect(f)
+	}
+	for _, f := range pkg.TestFiles {
+		collect(f)
+	}
+	if len(all) == 0 {
+		return diags
+	}
+
+	wellFormed := func(d *directive) bool {
+		return known[d.analyzer] && d.reason != ""
+	}
+	var out []Diagnostic
+	for _, diag := range diags {
+		m := byLine[diag.Position.Filename]
+		suppressed := false
+		for _, line := range [2]int{diag.Position.Line, diag.Position.Line - 1} {
+			if d := m[line]; d != nil && wellFormed(d) && d.analyzer == diag.Analyzer {
+				d.used = true
+				suppressed = true
+				break
+			}
+		}
+		if !suppressed {
+			out = append(out, diag)
+		}
+	}
+	for _, d := range all {
+		switch {
+		case !wellFormed(d):
+			out = append(out, Diagnostic{
+				Position: d.pos,
+				Analyzer: "tdbvet",
+				Message:  "malformed //" + ignorePrefix + " directive: want \"//" + ignorePrefix + " <analyzer> <reason>\" with a known analyzer and a non-empty reason",
+			})
+		case !d.used && ran[d.analyzer]:
+			out = append(out, Diagnostic{
+				Position: d.pos,
+				Analyzer: "tdbvet",
+				Message:  "unused //" + ignorePrefix + " " + d.analyzer + " directive suppresses nothing; delete it",
+			})
+		}
+	}
+	return out
+}

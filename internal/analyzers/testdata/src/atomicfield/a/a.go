@@ -1,0 +1,49 @@
+// Corpus for atomicfield: counter.n is accessed via sync/atomic, so every
+// other access to it must be atomic too.
+package a
+
+import "sync/atomic"
+
+type counter struct {
+	n    int64
+	hits int64 // never touched atomically: plain access is fine
+}
+
+// newCounter initializes through a composite literal — exempt, the value
+// is not yet shared.
+func newCounter() *counter {
+	return &counter{n: 1, hits: 0}
+}
+
+func (c *counter) inc() {
+	atomic.AddInt64(&c.n, 1)
+}
+
+func (c *counter) load() int64 {
+	return atomic.LoadInt64(&c.n)
+}
+
+// fastRead is the classic shortcut the analyzer exists to catch.
+func (c *counter) fastRead() int64 {
+	return c.n // want `field n is accessed with sync/atomic at`
+}
+
+// reset's plain store races with inc.
+func (c *counter) reset() {
+	c.n = 0 // want `field n is accessed with sync/atomic at`
+}
+
+// bump touches only the untracked field.
+func (c *counter) bump() {
+	c.hits++
+}
+
+// gauge has a field spelled n too; it is a different field object, so the
+// tracking must not bleed across types.
+type gauge struct {
+	n int64
+}
+
+func (g *gauge) set(v int64) {
+	g.n = v
+}

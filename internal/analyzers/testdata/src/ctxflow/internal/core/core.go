@@ -1,0 +1,50 @@
+// Violation corpus for ctxflow: this package's import path puts it on the
+// serving path (internal/core), so context discipline applies.
+package core
+
+import "context"
+
+// Compute takes ctx first — fine — but mints a root context inside.
+func Compute(ctx context.Context, n int) int {
+	sub := context.Background() // want `context.Background\(\) severs the caller's cancellation`
+	_ = sub
+	return n
+}
+
+// helper shows the rule applies to unexported functions too: a TODO deep
+// in a helper severs cancellation just as thoroughly.
+func helper() {
+	ctx := context.TODO() // want `context.TODO\(\) severs the caller's cancellation`
+	_ = ctx
+}
+
+// Lookup buries its context parameter behind the name.
+func Lookup(name string, ctx context.Context) error { // want `context.Context should be the first parameter of exported Lookup`
+	_ = ctx
+	return nil
+}
+
+// Engine is exported, so its exported methods are part of the surface.
+type Engine struct{}
+
+func (e *Engine) Run(n int, ctx context.Context) error { // want `context.Context should be the first parameter of exported Run`
+	_ = ctx
+	return nil
+}
+
+// engine is unexported: its method set is not part of the package surface,
+// so parameter order is the implementer's business.
+type engine struct{}
+
+func (e *engine) Run(n int, ctx context.Context) error {
+	_ = ctx
+	return nil
+}
+
+// ThreadedThrough is the shape the rule wants everywhere.
+func ThreadedThrough(ctx context.Context, n int) int {
+	if err := ctx.Err(); err != nil {
+		return 0
+	}
+	return n
+}

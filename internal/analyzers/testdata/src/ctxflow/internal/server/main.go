@@ -1,0 +1,10 @@
+// A main package inside a scoped path: roots are minted in main, so the
+// Background here is legal.
+package main
+
+import "context"
+
+func main() {
+	ctx := context.Background()
+	_ = ctx
+}

@@ -1,0 +1,12 @@
+// A package off the serving path: ctxflow does not apply here, so root
+// contexts and buried context parameters are not findings.
+package ok
+
+import "context"
+
+func Boot(n int, ctx context.Context) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return ctx
+}

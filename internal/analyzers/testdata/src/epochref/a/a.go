@@ -1,0 +1,62 @@
+// Violation corpus for epochref: every flagged line carries a want.
+package a
+
+import "ring"
+
+var cond bool
+
+// leakNever: acquired, used, never released anywhere.
+func leakNever(r *ring.EpochRing) int {
+	e := r.Acquire() // want `epoch acquired here is never Released`
+	if e == nil {
+		return 0
+	}
+	return e.Graph()
+}
+
+// discardStmt: result dropped on the floor.
+func discardStmt(r *ring.EpochRing) {
+	r.Acquire() // want `result of EpochRing.Acquire is discarded`
+}
+
+// discardBlank: result assigned to blank.
+func discardBlank(r *ring.EpochRing) {
+	_ = r.Acquire() // want `result of EpochRing.Acquire is discarded`
+}
+
+// earlyReturn: a return path between Acquire and the non-deferred Release.
+func earlyReturn(r *ring.EpochRing) int {
+	e := r.Acquire()
+	if e == nil {
+		return 0
+	}
+	if cond {
+		return 1 // want `epoch acquired on line \d+ may not be Released on this return path`
+	}
+	e.Release()
+	return 2
+}
+
+// fallsOffEnd: released on one branch only, then the function ends.
+func fallsOffEnd(r *ring.EpochRing) {
+	e := r.Acquire() // want `epoch acquired here may not be Released when the function falls off the end`
+	if e == nil {
+		return
+	}
+	if cond {
+		e.Release()
+	}
+}
+
+// releaseOneOfTwoBranches: the else branch leaks through its return.
+func releaseOneOfTwoBranches(r *ring.EpochRing) int {
+	e := r.Acquire()
+	if e == nil {
+		return 0
+	}
+	if cond {
+		e.Release()
+		return 1
+	}
+	return 2 // want `epoch acquired on line \d+ may not be Released on this return path`
+}

@@ -1,0 +1,82 @@
+// Negative corpus for epochref: none of these may be flagged.
+package a
+
+import "ring"
+
+// deferRelease: the canonical reader shape (handlers.go).
+func deferRelease(r *ring.EpochRing) int {
+	e := r.Acquire()
+	if e == nil {
+		return 0
+	}
+	defer e.Release()
+	if cond {
+		return 1
+	}
+	return e.Graph()
+}
+
+// inlineRelease: non-deferred release on the single exit (restoreMaintainer).
+func inlineRelease(r *ring.EpochRing) {
+	e := r.Acquire()
+	if e == nil {
+		return
+	}
+	g := e.Graph()
+	e.Release()
+	_ = g
+}
+
+// nilGuardInit: acquire in the if-init with a nil guard.
+func nilGuardInit(r *ring.EpochRing) int {
+	if e := r.Acquire(); e != nil {
+		defer e.Release()
+		return e.Graph()
+	}
+	return 0
+}
+
+// releaseBothBranches: released on every path, no defer.
+func releaseBothBranches(r *ring.EpochRing) int {
+	e := r.Acquire()
+	if e == nil {
+		return 0
+	}
+	if cond {
+		e.Release()
+		return 1
+	}
+	e.Release()
+	return 2
+}
+
+// deferBeforeAcquire: the closure is registered first and releases later.
+func deferBeforeAcquire(r *ring.EpochRing) {
+	var e *ring.Epoch
+	defer func() {
+		if e != nil {
+			e.Release()
+		}
+	}()
+	e = r.Acquire()
+	_ = e
+}
+
+// deferredClosureRelease: release from inside a deferred closure.
+func deferredClosureRelease(r *ring.EpochRing) {
+	e := r.Acquire()
+	defer func() {
+		if e != nil {
+			e.Release()
+		}
+	}()
+}
+
+// panicPathIsNotALeak: panic exits are owned by deferred recovery above.
+func panicPathIsNotALeak(r *ring.EpochRing) {
+	e := r.Acquire()
+	if e == nil {
+		panic("no epoch")
+	}
+	e.Release()
+}

@@ -1,0 +1,79 @@
+// False-positive corpus: carriers that legitimately own an Epoch across a
+// function boundary. None of these may be flagged — the acquiring function
+// hands the release obligation to the carrier.
+package carrier
+
+import "ring"
+
+// pinned is a carrier struct: whoever holds it calls Close, which releases.
+type pinned struct {
+	e *ring.Epoch
+}
+
+func (p *pinned) Close() {
+	if p.e != nil {
+		p.e.Release()
+	}
+}
+
+// pinViaField stores the epoch in a carrier field.
+func pinViaField(r *ring.EpochRing) *pinned {
+	p := &pinned{}
+	e := r.Acquire()
+	p.e = e
+	return p
+}
+
+// pinViaLiteral wraps the epoch in a composite literal.
+func pinViaLiteral(r *ring.EpochRing) *pinned {
+	e := r.Acquire()
+	return &pinned{e: e}
+}
+
+// returnRaw returns the acquired epoch itself; the caller owes Release.
+func returnRaw(r *ring.EpochRing) *ring.Epoch {
+	e := r.Acquire()
+	return e
+}
+
+// sendToOwner hands the epoch to an owning goroutine over a channel.
+func sendToOwner(r *ring.EpochRing, ch chan *ring.Epoch) {
+	e := r.Acquire()
+	ch <- e
+}
+
+// passToCallee transfers ownership through a call (epochs move between
+// functions by design; the callee or its carrier releases).
+func passToCallee(r *ring.EpochRing) {
+	e := r.Acquire()
+	adopt(e)
+}
+
+func adopt(e *ring.Epoch) {
+	if e != nil {
+		e.Release()
+	}
+}
+
+// goroutineHandoff releases on a different goroutine.
+func goroutineHandoff(r *ring.EpochRing) {
+	e := r.Acquire()
+	go func() {
+		if e != nil {
+			e.Release()
+		}
+	}()
+}
+
+// storeInMap parks epochs in a registry keyed by id.
+func storeInMap(r *ring.EpochRing, reg map[int]*ring.Epoch) {
+	e := r.Acquire()
+	reg[0] = e
+}
+
+// appendToSlice accumulates pinned epochs for a batch release.
+func appendToSlice(r *ring.EpochRing, pins []*ring.Epoch) []*ring.Epoch {
+	e := r.Acquire()
+	pins = append(pins, e)
+	return pins
+}

@@ -1,0 +1,13 @@
+// Package ring fakes the dynamic.EpochRing surface for the epochref
+// corpus: the analyzer matches by type and method name, so the fake
+// exercises the same shapes as the real package without importing it.
+package ring
+
+type Epoch struct{ n int }
+
+func (e *Epoch) Release()   {}
+func (e *Epoch) Graph() int { return e.n }
+
+type EpochRing struct{}
+
+func (r *EpochRing) Acquire() *Epoch { return &Epoch{} }

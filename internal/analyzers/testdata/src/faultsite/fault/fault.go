@@ -1,0 +1,13 @@
+// Package fault fakes the internal/fault surface: the const block below
+// plays the role of the site registry in internal/fault/sites.go.
+package fault
+
+type Site string
+
+const (
+	SiteGood  Site = "good/site"
+	SiteOther Site = "other/site"
+)
+
+func Inject(site Site)         {}
+func Arm(site Site, fn func()) {}

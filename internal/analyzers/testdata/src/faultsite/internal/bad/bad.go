@@ -1,0 +1,20 @@
+// Violation corpus: unregistered site names and production-code arming.
+package bad
+
+import "fault"
+
+// local compiles fine — Site is just a string type — but it is invisible
+// to the registry, so chaos suites will never exercise this probe.
+const local fault.Site = "bad/local"
+
+func stringLit() {
+	fault.Inject("bad/adhoc") // want `fault site must be a registered Site constant`
+}
+
+func localConst() {
+	fault.Inject(local) // want `fault site must be a registered Site constant`
+}
+
+func armed() {
+	fault.Arm(fault.SiteGood, func() {}) // want `fault\.Arm outside a test arms a chaos hook`
+}

@@ -1,0 +1,9 @@
+// Negative corpus: a probe in production code under internal/, named by a
+// registered Site constant.
+package good
+
+import "fault"
+
+func Probe() {
+	fault.Inject(fault.SiteGood)
+}

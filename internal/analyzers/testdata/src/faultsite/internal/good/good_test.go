@@ -1,0 +1,8 @@
+// Arming a hook from a test is the intended use; no finding.
+package good
+
+import "fault"
+
+func testArm() {
+	fault.Arm(fault.SiteGood, func() {})
+}

@@ -1,0 +1,3 @@
+// Package testfile exists to host a _test.go with an Inject call; the
+// production file is deliberately empty of probes.
+package testfile

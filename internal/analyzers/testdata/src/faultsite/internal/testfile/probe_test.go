@@ -1,0 +1,9 @@
+// A probe planted in a test file is invisible to the chaos suites, which
+// only arm sites hosted in production code.
+package testfile
+
+import "fault"
+
+func testProbe() {
+	fault.Inject(fault.SiteGood) // want `fault\.Inject in a test file`
+}

@@ -1,0 +1,9 @@
+// A probe outside internal/ leaks the chaos surface into code users can
+// import.
+package outside
+
+import "fault"
+
+func Probe() {
+	fault.Inject(fault.SiteGood) // want `fault probe site outside internal/`
+}

@@ -1,0 +1,62 @@
+// Violation corpus for scratchpool.
+package a
+
+import "pool"
+
+var cond bool
+
+// leakNever: borrowed, lent to a detector, never Put — passing scratch to
+// a constructor is a borrow, so the obligation stays here (this is the
+// shape of the PR 5 leaked-scratch bug).
+func leakNever(p *pool.ScratchPool) int {
+	sc := p.Get() // want `scratch acquired here is never Put back and never escapes`
+	d := pool.NewDetector(8, sc)
+	return d.Find()
+}
+
+// discard: pooled scratch dropped on the floor.
+func discard(p *pool.ScratchPool) {
+	p.Get() // want `result of ScratchPool.Get is discarded`
+}
+
+// earlyReturn: a return path skips the Put.
+func earlyReturn(p *pool.ScratchPool) int {
+	sc := p.Get()
+	d := pool.NewDetector(8, sc)
+	if cond {
+		return 0 // want `scratch acquired on line \d+ may not be Put back on this return path`
+	}
+	n := d.Find()
+	p.Put(sc)
+	return n
+}
+
+// putInRecoverBlock: repooling from the panic branch hands poisoned marks
+// to the next run (the PR 7 quarantine rule).
+func putInRecoverBlock(p *pool.ScratchPool) {
+	sc := p.Get()
+	defer func() {
+		if r := recover(); r != nil {
+			p.Put(sc) // want `pooled scratch repooled on a panic path`
+		}
+	}()
+	d := pool.NewDetector(8, sc)
+	d.Find()
+	p.Put(sc)
+}
+
+// putInRecoverElse: same violation with the branches flipped.
+func putInRecoverElse(p *pool.ScratchPool) {
+	sc := p.Get()
+	defer func() {
+		r := recover()
+		if r == nil {
+			_ = sc
+		} else {
+			p.Put(sc) // want `pooled scratch repooled on a panic path`
+		}
+	}()
+	d := pool.NewDetector(8, sc)
+	d.Find()
+	p.Put(sc)
+}

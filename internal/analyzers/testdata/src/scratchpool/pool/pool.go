@@ -1,0 +1,20 @@
+// Package pool fakes the cycle.ScratchPool surface for the scratchpool
+// corpus.
+package pool
+
+type Scratch struct{ n int }
+
+func (s *Scratch) Len() int { return s.n }
+
+type ScratchPool struct{}
+
+func (p *ScratchPool) Get() *Scratch  { return &Scratch{} }
+func (p *ScratchPool) Put(s *Scratch) {}
+
+// Detector borrows scratch the way cycle detectors do: taking it as a
+// constructor argument does NOT discharge the getter's Put obligation.
+type Detector struct{ sc *Scratch }
+
+func NewDetector(n int, sc *Scratch) *Detector { return &Detector{sc: sc} }
+
+func (d *Detector) Find() int { return d.sc.Len() }

@@ -1,0 +1,60 @@
+// Corpus for the //tdbvet:ignore contract, exercised by
+// TestSuppressionContract (no want comments here — the test asserts on the
+// surviving diagnostic set directly).
+package s
+
+import "ring"
+
+var cond bool
+
+// leakSuppressedSameLine: the epochref leak finding lands on the Acquire
+// line; a well-formed directive there swallows it.
+func leakSuppressedSameLine(r *ring.EpochRing) int {
+	e := r.Acquire() //tdbvet:ignore epochref epoch pinned for the process lifetime by design
+	if e == nil {
+		return 0
+	}
+	return e.Graph()
+}
+
+// leakSuppressedLineAbove: the directive may also sit alone on the line
+// directly above the finding.
+func leakSuppressedLineAbove(r *ring.EpochRing) int {
+	//tdbvet:ignore epochref epoch pinned for the process lifetime by design
+	e := r.Acquire()
+	if e == nil {
+		return 0
+	}
+	return e.Graph()
+}
+
+// malformed: the reason is mandatory; this directive is itself a finding.
+// It sits on a clean line so the only diagnostic here is the malformed one.
+func malformed() {
+	//tdbvet:ignore epochref
+	_ = cond
+}
+
+// unused: well-formed, but scratchpool has nothing to suppress on this
+// line — dead suppressions are findings too.
+func unused(r *ring.EpochRing) {
+	e := r.Acquire()
+	//tdbvet:ignore scratchpool stale directive left behind by a refactor
+	if e != nil {
+		e.Release()
+	}
+}
+
+// wrongAnalyzer: the directive names ctxflow, so the epochref return-path
+// finding stays live AND the directive is reported as unused.
+func wrongAnalyzer(r *ring.EpochRing) int {
+	e := r.Acquire()
+	if e == nil {
+		return 0
+	}
+	if cond {
+		return 1 //tdbvet:ignore ctxflow wrong analyzer for this finding
+	}
+	e.Release()
+	return 2
+}

@@ -1,0 +1,137 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// namedOf returns the named type beneath pointers and aliases, or nil.
+func namedOf(t types.Type) *types.Named {
+	for {
+		switch u := t.(type) {
+		case *types.Pointer:
+			t = u.Elem()
+		case *types.Alias:
+			t = types.Unalias(u)
+		case *types.Named:
+			return u
+		default:
+			return nil
+		}
+	}
+}
+
+// objOf resolves an identifier or selector to its object.
+func objOf(info *types.Info, e ast.Expr) types.Object {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		return info.Uses[e]
+	case *ast.SelectorExpr:
+		return info.Uses[e.Sel]
+	}
+	return nil
+}
+
+// methodCall reports whether call invokes method on a receiver whose named
+// type is typeName (in any package — the testdata corpora declare fakes),
+// returning the receiver expression.
+func methodCall(info *types.Info, call *ast.CallExpr, typeName, method string) (ast.Expr, bool) {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return nil, false
+	}
+	fn, ok := info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return nil, false
+	}
+	recv := fn.Signature().Recv()
+	if recv == nil {
+		return nil, false
+	}
+	named := namedOf(recv.Type())
+	if named == nil || named.Obj().Name() != typeName {
+		return nil, false
+	}
+	return sel.X, true
+}
+
+// pkgFuncCall reports whether call invokes the package-level function
+// pkg.name, with pkg matched by exact import path or, when byName is set,
+// by package name (for testdata fakes of internal packages).
+func pkgFuncCall(info *types.Info, call *ast.CallExpr, pkgPath, name string, byName bool) bool {
+	fn, ok := objOf(info, call.Fun).(*types.Func)
+	if !ok || fn.Name() != name || fn.Pkg() == nil {
+		return false
+	}
+	if fn.Signature().Recv() != nil {
+		return false
+	}
+	if byName {
+		return fn.Pkg().Name() == pkgPath
+	}
+	return fn.Pkg().Path() == pkgPath
+}
+
+// mentionsBeyondReceiver reports whether the subtree rooted at n uses obj
+// other than as the base of a selector (method call or field read on the
+// resource is a borrow, not an ownership transfer: `return e.Graph()` does
+// not return e).
+func mentionsBeyondReceiver(info *types.Info, n ast.Node, obj types.Object) bool {
+	if n == nil {
+		return false
+	}
+	receiverIdents := map[*ast.Ident]bool{}
+	ast.Inspect(n, func(m ast.Node) bool {
+		if sel, ok := m.(*ast.SelectorExpr); ok {
+			if id, ok := ast.Unparen(sel.X).(*ast.Ident); ok {
+				receiverIdents[id] = true
+			}
+		}
+		return true
+	})
+	found := false
+	ast.Inspect(n, func(m ast.Node) bool {
+		if id, ok := m.(*ast.Ident); ok && info.Uses[id] == obj && !receiverIdents[id] {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// usesObject reports whether the subtree rooted at n mentions obj.
+func usesObject(info *types.Info, n ast.Node, obj types.Object) bool {
+	if n == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(n, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && info.Uses[id] == obj {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// isTestFilename reports whether the position's file is a _test.go file.
+func isTestFilename(filename string) bool {
+	return strings.HasSuffix(filename, "_test.go")
+}
+
+// funcBodies yields every function body in f — declarations and literals —
+// with the enclosing declaration's name for messages.
+func funcBodies(f *ast.File, visit func(name string, body *ast.BlockStmt)) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncDecl:
+			if n.Body != nil {
+				visit(n.Name.Name, n.Body)
+			}
+		case *ast.FuncLit:
+			visit("func literal", n.Body)
+		}
+		return true
+	})
+}

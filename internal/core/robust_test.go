@@ -226,24 +226,3 @@ func TestEnginePanicQuarantinesScratch(t *testing.T) {
 		}
 	}
 }
-
-func TestFaultArmDisarm(t *testing.T) {
-	var hits atomic.Int64
-	d1 := fault.Arm("core/test-site", func() { hits.Add(1) })
-	d2 := fault.Arm("core/test-site", func() { hits.Add(10) })
-	fault.Inject("core/test-site")
-	if hits.Load() != 11 {
-		t.Fatalf("hits=%d, want 11 (both hooks)", hits.Load())
-	}
-	d1()
-	d1() // idempotent
-	fault.Inject("core/test-site")
-	if hits.Load() != 21 {
-		t.Fatalf("hits=%d, want 21 (second hook only)", hits.Load())
-	}
-	d2()
-	fault.Inject("core/test-site")
-	if hits.Load() != 21 {
-		t.Fatalf("hits=%d, want 21 (all disarmed)", hits.Load())
-	}
-}

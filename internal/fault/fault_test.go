@@ -27,18 +27,31 @@ func TestSiteRegistry(t *testing.T) {
 	}
 }
 
-// TestArmInjectDisarm exercises the arm/inject/disarm lifecycle against a
-// registered site without leaking arming into other tests.
+// TestArmInjectDisarm exercises the arm/inject/disarm lifecycle —
+// multiple hooks in arming order, idempotent disarm, and the armed
+// counter returning to its disarmed baseline. (Moved here from
+// internal/core's robust suite: the plumbing under test is this
+// package's, and the faultsite analyzer bans Inject calls in other
+// packages' test files.)
 func TestArmInjectDisarm(t *testing.T) {
-	var fired int
-	disarm := Arm(SiteCoreCompute, func() { fired++ })
+	var hits int
+	d1 := Arm(SiteCoreCompute, func() { hits++ })
+	d2 := Arm(SiteCoreCompute, func() { hits += 10 })
 	Inject(SiteCoreCompute)
-	Inject(SiteServerReader) // not armed: must not fire the hook
-	disarm()
-	disarm() // idempotent
+	Inject(SiteServerReader) // not armed: must not fire the hooks
+	if hits != 11 {
+		t.Fatalf("hits=%d, want 11 (both hooks, in arming order)", hits)
+	}
+	d1()
+	d1() // idempotent
 	Inject(SiteCoreCompute)
-	if fired != 1 {
-		t.Fatalf("hook fired %d times, want 1", fired)
+	if hits != 21 {
+		t.Fatalf("hits=%d, want 21 (second hook only)", hits)
+	}
+	d2()
+	Inject(SiteCoreCompute)
+	if hits != 21 {
+		t.Fatalf("hits=%d, want 21 (all disarmed)", hits)
 	}
 	if got := armed.Load(); got != 0 {
 		t.Fatalf("armed count %d after disarm, want 0", got)
