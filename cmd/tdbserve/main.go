@@ -5,13 +5,23 @@
 //	tdbserve -addr :8080 -k 5 [-minlen 3] [-n 1000] [-graph g.txt]
 //	    [-deadline 5s] [-max-deadline 30s] [-max-concurrent 0]
 //	    [-write-queue 256] [-publish-every 512] [-degrade]
+//	    [-data-dir dir] [-fsync always|interval|never]
+//	    [-fsync-interval 100ms] [-checkpoint-every 1024]
 //
 // One writer goroutine applies POSTed edge updates to a dynamic cover
 // maintainer and publishes immutable epoch snapshots; reader requests
 // (solve, cycle, hascycle, cover) run against the epoch current at their
 // arrival. SIGINT/SIGTERM drain gracefully: admissions stop, in-flight
-// requests finish, the write queue is flushed into a final epoch, and the
-// process exits 0.
+// requests finish, the write queue is flushed into a final epoch and the
+// WAL tail is fsynced, and the process exits 0.
+//
+// With -data-dir, writes are durable (DESIGN.md §14): acknowledged batches
+// go to a write-ahead log before the response, periodic snapshot
+// checkpoints keep the log short, and a restart with the same directory
+// recovers the state — including after kill -9, where a torn final record
+// is discarded at a record boundary. Under -fsync always no acknowledged
+// write is ever lost; interval bounds loss to the sync window; never leaves
+// flushing to the OS (a graceful shutdown still loses nothing).
 //
 // Quickstart:
 //
@@ -36,6 +46,7 @@ import (
 	"tdb"
 	"tdb/internal/core"
 	"tdb/internal/server"
+	"tdb/internal/wal"
 )
 
 func main() {
@@ -59,8 +70,16 @@ func run(args []string) error {
 		writeQueue  = fs.Int("write-queue", 256, "writer queue depth (full queue sheds with 429)")
 		publishEach = fs.Int("publish-every", 512, "publish a fresh epoch after this many applied updates")
 		degrade     = fs.Bool("degrade", false, "default solves to partial_on_deadline (valid degraded cover instead of 504)")
+		dataDir     = fs.String("data-dir", "", "durable state directory (WAL + checkpoints); empty = in-memory only")
+		fsyncMode   = fs.String("fsync", "always", "WAL sync policy: always, interval or never")
+		fsyncEvery  = fs.Duration("fsync-interval", 100*time.Millisecond, "background sync cadence under -fsync interval")
+		ckptEvery   = fs.Int("checkpoint-every", 1024, "write a snapshot checkpoint after this many logged updates")
 	)
 	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	policy, err := wal.ParsePolicy(*fsyncMode)
+	if err != nil {
 		return err
 	}
 
@@ -74,6 +93,10 @@ func run(args []string) error {
 		WriteQueue:        *writeQueue,
 		PublishEvery:      *publishEach,
 		DegradeOnDeadline: *degrade,
+		DataDir:           *dataDir,
+		Fsync:             policy,
+		FsyncInterval:     *fsyncEvery,
+		CheckpointEvery:   *ckptEvery,
 	}
 	if *graphPath != "" {
 		g, err := tdb.LoadGraph(*graphPath)

@@ -37,6 +37,27 @@ const (
 	// per-request recovery that turns a panic into a 500
 	// (server/handlers.go).
 	SiteServerReader Site = "server/reader"
+
+	// SiteWALAppend fires at the top of every write-ahead-log append,
+	// before any bytes reach the segment file; a panic here must leave the
+	// log byte-identical and the batch unacknowledged (wal/wal.go).
+	SiteWALAppend Site = "wal/append"
+
+	// SiteWALFsync fires before the log's fsync, after the record's bytes
+	// are in the file; a panic here simulates a sync failure and must roll
+	// the unsynced record back out of the log (wal/wal.go).
+	SiteWALFsync Site = "wal/fsync"
+
+	// SiteWALCheckpoint fires at the head of a snapshot checkpoint write;
+	// a panic here must leave the previous checkpoint authoritative and
+	// the log un-rotated (wal/checkpoint.go).
+	SiteWALCheckpoint Site = "wal/checkpoint"
+
+	// SiteServerRecoverReplay fires once per WAL record replayed during
+	// tdbserve startup recovery, before the record is applied; a panic
+	// here simulates a crash mid-recovery, which must stay restartable
+	// (server/durability.go).
+	SiteServerRecoverReplay Site = "server/recover-replay"
 )
 
 // Sites returns every registered probe site, for audit tests and tooling.
@@ -47,5 +68,9 @@ func Sites() []Site {
 		SiteCorePrepassWorker,
 		SiteDynamicApplyBatch,
 		SiteServerReader,
+		SiteWALAppend,
+		SiteWALFsync,
+		SiteWALCheckpoint,
+		SiteServerRecoverReplay,
 	}
 }

@@ -115,6 +115,10 @@ type UpdateResponse struct {
 	Applied    bool   `json:"applied,omitempty"`
 	CoverAdded []VID  `json:"cover_added,omitempty"`
 	Epoch      uint64 `json:"epoch,omitempty"`
+	// WALSeq is the batch's write-ahead-log sequence number: under
+	// fsync=always the batch is on stable storage when this is returned.
+	// Zero when the server runs without a data dir.
+	WALSeq uint64 `json:"wal_seq,omitempty"`
 }
 
 // StatsResponse is the server's counters.
@@ -130,6 +134,15 @@ type StatsResponse struct {
 	WriterPanics    int64  `json:"writer_panics"`
 	WriterRestores  int64  `json:"writer_restores"`
 	Draining        bool   `json:"draining"`
+
+	// Durability counters, present when the server runs with a data dir.
+	WALEnabled         bool   `json:"wal_enabled,omitempty"`
+	WALLastSeq         uint64 `json:"wal_last_seq,omitempty"`
+	WALAppends         int64  `json:"wal_appends,omitempty"`
+	WALFsyncs          int64  `json:"wal_fsyncs,omitempty"`
+	WALRecovered       int64  `json:"wal_recovered,omitempty"`
+	WALCheckpoints     int64  `json:"wal_checkpoints,omitempty"`
+	WALCheckpointFails int64  `json:"wal_checkpoint_failures,omitempty"`
 }
 
 type errorResponse struct {
@@ -169,6 +182,7 @@ func (s *Server) routes() {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/healthz", s.wrap(http.MethodGet, false, s.handleHealthz))
 	s.mux.HandleFunc("/v1/stats", s.wrap(http.MethodGet, false, s.handleStats))
+	s.mux.HandleFunc("/metrics", s.wrap(http.MethodGet, false, s.handleMetrics))
 	s.mux.HandleFunc("/v1/solve", s.wrap(http.MethodPost, true, s.handleSolve))
 	s.mux.HandleFunc("/v1/cycle", s.wrap(http.MethodPost, true, s.handleCycle))
 	s.mux.HandleFunc("/v1/hascycle", s.wrap(http.MethodPost, true, s.handleHasCycle))
@@ -226,7 +240,7 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, StatsResponse{
+	resp := StatsResponse{
 		Epoch:           s.ring.Current(),
 		EpochsLive:      s.ring.Live(),
 		EpochsReclaimed: s.ring.Reclaimed(),
@@ -238,7 +252,17 @@ func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
 		WriterPanics:    s.writerPanics.Load(),
 		WriterRestores:  s.writerRestores.Load(),
 		Draining:        draining,
-	})
+	}
+	if s.wal != nil {
+		resp.WALEnabled = true
+		resp.WALLastSeq = s.wal.LastSeq()
+		resp.WALAppends = s.wal.Appends()
+		resp.WALFsyncs = s.wal.Fsyncs()
+		resp.WALRecovered = s.walRecovered.Load()
+		resp.WALCheckpoints = s.walCheckpoints.Load()
+		resp.WALCheckpointFails = s.walCheckpointFails.Load()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // solveParams validates and defaults the (k, minLen) pair against the
@@ -495,6 +519,7 @@ func (s *Server) handleUpdate(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, UpdateResponse{
-		Accepted: true, Applied: true, CoverAdded: resp.added, Epoch: resp.epoch,
+		Accepted: true, Applied: true, CoverAdded: resp.added,
+		Epoch: resp.epoch, WALSeq: resp.walSeq,
 	})
 }

@@ -1,0 +1,59 @@
+package server
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+)
+
+// GET /metrics: the server's counters in the Prometheus text exposition
+// format (version 0.0.4), hand-rolled — the format is a few lines of
+// HELP/TYPE plus `name value`, not worth a client-library dependency. The
+// series mirror /v1/stats; the WAL series appear only on durable servers so
+// dashboards can alert on absence vs zero.
+
+func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+
+	var b strings.Builder
+	counter := func(name, help string, v int64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	b01 := func(v bool) float64 {
+		if v {
+			return 1
+		}
+		return 0
+	}
+
+	gauge("tdbserve_epoch", "Current published epoch ID.", float64(s.ring.Current()))
+	gauge("tdbserve_epochs_live", "Snapshot epochs currently referenced.", float64(s.ring.Live()))
+	counter("tdbserve_epochs_reclaimed_total", "Snapshot epochs reclaimed.", s.ring.Reclaimed())
+	counter("tdbserve_requests_total", "Requests answered, any status.", s.served.Load())
+	counter("tdbserve_shed_total", "Requests shed with 429 (readers and writers).", s.shed.Load())
+	counter("tdbserve_degraded_total", "Solves answered with a degraded (valid, non-minimal) cover.", s.degradedCount.Load())
+	counter("tdbserve_deadline_total", "Solves stopped by their deadline.", s.deadlineCount.Load())
+	counter("tdbserve_panics_total", "Reader panics answered with 500.", s.panicCount.Load())
+	counter("tdbserve_writer_panics_total", "Writer batches that panicked.", s.writerPanics.Load())
+	counter("tdbserve_writer_restores_total", "Maintainer rebuilds after writer panics.", s.writerRestores.Load())
+	gauge("tdbserve_draining", "1 while shutdown is draining requests.", b01(draining))
+	gauge("tdbserve_wal_enabled", "1 when writes are durable (a data dir is configured).", b01(s.wal != nil))
+	if s.wal != nil {
+		counter("tdbserve_wal_appends_total", "Write batches appended to the WAL.", s.wal.Appends())
+		counter("tdbserve_wal_fsyncs_total", "WAL fsyncs issued.", s.wal.Fsyncs())
+		gauge("tdbserve_wal_last_seq", "Sequence number of the last logged batch.", float64(s.wal.LastSeq()))
+		counter("tdbserve_wal_recovery_replayed_total", "WAL records replayed during startup recovery.", s.walRecovered.Load())
+		counter("tdbserve_wal_checkpoints_total", "Snapshot checkpoints written.", s.walCheckpoints.Load())
+		counter("tdbserve_wal_checkpoint_failures_total", "Checkpoint attempts that failed (server kept serving).", s.walCheckpointFails.Load())
+		gauge("tdbserve_wal_last_checkpoint_duration_seconds", "Duration of the last successful checkpoint.", float64(s.walCheckpointNS.Load())/1e9)
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	_, _ = w.Write([]byte(b.String()))
+}

@@ -40,6 +40,7 @@ import (
 	"tdb/internal/core"
 	"tdb/internal/digraph"
 	"tdb/internal/dynamic"
+	"tdb/internal/wal"
 )
 
 // VID aliases digraph.VID.
@@ -82,6 +83,22 @@ type Config struct {
 	// MaxVertices caps grow_to requests (default 1<<31) so a single bad
 	// update cannot balloon the maintainer's per-vertex state.
 	MaxVertices int
+
+	// DataDir, when non-empty, enables durable writes: acknowledged batches
+	// are appended to a write-ahead log in this directory, snapshot
+	// checkpoints truncate the log, and startup recovers the state found
+	// there (a checkpoint in the directory wins over Seed; its k/min_len
+	// must match the config).
+	DataDir string
+	// Fsync is the WAL sync policy (default wal.FsyncAlways: an
+	// acknowledged write survives any crash).
+	Fsync wal.Policy
+	// FsyncInterval is the background sync cadence under wal.FsyncInterval
+	// (default 100ms).
+	FsyncInterval time.Duration
+	// CheckpointEvery writes a snapshot checkpoint after this many logged
+	// updates (default 1024).
+	CheckpointEvery int
 }
 
 func (c *Config) withDefaults() (Config, error) {
@@ -116,6 +133,9 @@ func (c *Config) withDefaults() (Config, error) {
 	if cfg.MaxVertices <= 0 {
 		cfg.MaxVertices = 1 << 31
 	}
+	if cfg.CheckpointEvery <= 0 {
+		cfg.CheckpointEvery = 1024
+	}
 	return cfg, nil
 }
 
@@ -133,6 +153,9 @@ type writeResp struct {
 	added []VID
 	epoch uint64
 	err   error
+	// walSeq is the batch's WAL sequence number (0 when the server is not
+	// durable or the batch changed nothing).
+	walSeq uint64
 	// panicked marks errors the writer recovered from (server faults, 500)
 	// as opposed to validation rejections (client faults, 400).
 	panicked bool
@@ -166,6 +189,11 @@ type Server struct {
 	// writer panic can rebuild the maintainer without losing them.
 	appliedLog []dynamic.Update
 
+	// Durability (nil wal when Config.DataDir is empty). The log handle is
+	// written once by New; sinceCheckpoint belongs to the writer goroutine.
+	wal             *wal.Log
+	sinceCheckpoint int
+
 	// counters
 	served         atomic.Int64 // requests answered (any status)
 	shed           atomic.Int64 // 429s (readers + writers)
@@ -174,23 +202,22 @@ type Server struct {
 	panicCount     atomic.Int64 // reader panics answered with 500
 	writerPanics   atomic.Int64 // writer batches that panicked
 	writerRestores atomic.Int64 // maintainer rebuilds after writer panics
+
+	walRecovered       atomic.Int64 // WAL records replayed at startup
+	walCheckpoints     atomic.Int64 // checkpoints written since start
+	walCheckpointFails atomic.Int64 // checkpoints that failed (server kept serving)
+	walCheckpointNS    atomic.Int64 // duration of the last successful checkpoint
 }
 
-// New validates cfg, seeds the maintainer, publishes the first epoch and
-// starts the writer goroutine.
+// New validates cfg, seeds or recovers the maintainer (recovery when
+// cfg.DataDir holds durable state), publishes the first epoch and starts the
+// writer goroutine. Recovery completes — checkpoint loaded, record suffix
+// replayed, fresh checkpoint durable — before the handler exists, so no
+// request ever observes pre-recovery state.
 func New(cfg Config) (*Server, error) {
 	c, err := cfg.withDefaults()
 	if err != nil {
 		return nil, err
-	}
-	var m *dynamic.Maintainer
-	if c.Seed != nil {
-		m, err = dynamic.FromGraph(c.Seed, c.K, c.MinLen, c.SeedCover)
-		if err != nil {
-			return nil, err
-		}
-	} else {
-		m = dynamic.New(c.NumVertices, c.K, c.MinLen)
 	}
 	s := &Server{
 		cfg:        c,
@@ -198,8 +225,23 @@ func New(cfg Config) (*Server, error) {
 		tokens:     make(chan struct{}, c.MaxConcurrent),
 		writeQ:     make(chan *writeReq, c.WriteQueue),
 		writerDone: make(chan struct{}),
-		m:          m,
 	}
+	var m *dynamic.Maintainer
+	switch {
+	case c.DataDir != "":
+		m, err = s.openDurable(&c)
+		if err != nil {
+			return nil, err
+		}
+	case c.Seed != nil:
+		m, err = dynamic.FromGraph(c.Seed, c.K, c.MinLen, c.SeedCover)
+		if err != nil {
+			return nil, err
+		}
+	default:
+		m = dynamic.New(c.NumVertices, c.K, c.MinLen)
+	}
+	s.m = m
 	s.publish() // readers always find an epoch
 	s.routes()
 	go s.writerLoop()
@@ -223,7 +265,10 @@ func (s *Server) publish() {
 }
 
 // writerLoop drains the write queue until Shutdown closes it, then takes a
-// final snapshot so every acknowledged write is visible in the last epoch.
+// final snapshot so every acknowledged write is visible in the last epoch,
+// and finally closes the WAL — Close fsyncs the tail regardless of policy,
+// so a graceful shutdown never loses acknowledged records even under
+// fsync=never.
 func (s *Server) writerLoop() {
 	defer close(s.writerDone)
 	for req := range s.writeQ {
@@ -234,6 +279,9 @@ func (s *Server) writerLoop() {
 	}
 	if s.sincePublish > 0 {
 		s.publish()
+	}
+	if s.wal != nil {
+		_ = s.wal.Close() // sticky error already surfaced on the write path
 	}
 }
 
@@ -257,12 +305,31 @@ func (s *Server) applyOne(req *writeReq) (resp writeResp) {
 	if err != nil {
 		return writeResp{epoch: s.ring.Current(), err: err}
 	}
+	// Durability point: the batch is in memory but not yet acknowledged.
+	// Log it before anything downstream can observe it as committed; if the
+	// log refuses, roll memory back too (epoch + appliedLog rebuild, which
+	// does not yet contain this batch) so the failed batch exists nowhere.
+	var walSeq uint64
+	if s.wal != nil && (len(req.updates) > 0 || req.growTo > 0) {
+		// The record carries the maintainer's current vertex count, not the
+		// request's grow_to: growth is monotone, so this makes every record
+		// self-sufficient even when an earlier grow rode a batch that was
+		// never acknowledged (and therefore never logged).
+		walSeq, err = s.wal.Append(encodeWALRecord(s.m.NumVertices(), req.updates))
+		if err != nil {
+			s.restoreMaintainer()
+			return writeResp{epoch: s.ring.Current(), panicked: true,
+				err: fmt.Errorf("server: write not durable: %w", err)}
+		}
+		s.sinceCheckpoint += len(req.updates) + 1
+	}
 	s.appliedLog = append(s.appliedLog, req.updates...)
 	s.sincePublish += len(req.updates)
 	if req.publish || s.sincePublish >= s.cfg.PublishEvery {
 		s.publish()
 	}
-	return writeResp{added: added, epoch: s.ring.Current()}
+	s.maybeCheckpoint()
+	return writeResp{added: added, epoch: s.ring.Current(), walSeq: walSeq}
 }
 
 // restoreMaintainer rebuilds the writer's maintainer from the last

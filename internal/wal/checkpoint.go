@@ -1,0 +1,98 @@
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"tdb/internal/fault"
+)
+
+// Checkpoint files. A checkpoint holds an opaque snapshot of the full state
+// after applying every record with sequence number <= seq; once one is
+// durable, all earlier segments and checkpoints are dead weight
+// (RemoveObsolete). The file is written to a temp name, fsynced, and
+// renamed into place, with a trailing CRC32-C over the body — so a crash at
+// any point leaves either the previous checkpoint authoritative or a new
+// fully-valid one, never a half state.
+
+const ckptMagic = "TDBCKPT1"
+
+func ckptPath(dir string, seq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("ckpt-%016x.snap", seq))
+}
+
+// WriteCheckpoint durably writes a checkpoint covering records <= seq.
+func WriteCheckpoint(dir string, seq uint64, payload []byte) error {
+	// Chaos hook: a panic here simulates dying at the start of a
+	// checkpoint; the previous checkpoint must remain authoritative.
+	fault.Inject(fault.SiteWALCheckpoint)
+	path := ckptPath(dir, seq)
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: creating checkpoint temp: %w", err)
+	}
+	hdr := make([]byte, len(ckptMagic)+16)
+	copy(hdr, ckptMagic)
+	binary.LittleEndian.PutUint64(hdr[len(ckptMagic):], seq)
+	binary.LittleEndian.PutUint64(hdr[len(ckptMagic)+8:], uint64(len(payload)))
+	crc := crc32.Update(0, castagnoli, hdr[len(ckptMagic):])
+	crc = crc32.Update(crc, castagnoli, payload)
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc)
+
+	werr := writeAll(f, hdr, payload, tail[:])
+	if werr == nil {
+		werr = f.Sync()
+	}
+	if cerr := f.Close(); werr == nil {
+		werr = cerr
+	}
+	if werr != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("wal: writing checkpoint: %w", werr)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		_ = os.Remove(tmp)
+		return fmt.Errorf("wal: publishing checkpoint: %w", err)
+	}
+	return syncDir(dir)
+}
+
+func writeAll(f *os.File, chunks ...[]byte) error {
+	for _, c := range chunks {
+		if _, err := f.Write(c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// readCheckpoint loads and validates one checkpoint file: magic, the seq
+// embedded in the body matching the file name, a sane length, and the
+// trailing CRC32-C. Any violation is an error (the caller falls back to an
+// older checkpoint).
+func readCheckpoint(path string, wantSeq uint64) ([]byte, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	if len(data) < len(ckptMagic)+16+4 || string(data[:len(ckptMagic)]) != ckptMagic {
+		return nil, fmt.Errorf("wal: checkpoint %s: bad header", path)
+	}
+	body := data[len(ckptMagic) : len(data)-4]
+	seq := binary.LittleEndian.Uint64(body[0:8])
+	plen := binary.LittleEndian.Uint64(body[8:16])
+	if seq != wantSeq || plen != uint64(len(body)-16) {
+		return nil, fmt.Errorf("wal: checkpoint %s: inconsistent header", path)
+	}
+	crc := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.Checksum(body, castagnoli) != crc {
+		return nil, fmt.Errorf("wal: checkpoint %s: checksum mismatch", path)
+	}
+	payload := body[16:]
+	return payload, nil
+}

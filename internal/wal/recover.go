@@ -1,0 +1,263 @@
+package wal
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Record is one recovered log record.
+type Record struct {
+	Seq     uint64
+	Payload []byte
+}
+
+// Recovery is the durable state found in a data directory.
+type Recovery struct {
+	// CheckpointSeq is the sequence number the newest valid checkpoint
+	// covers (0 when Checkpoint is nil).
+	CheckpointSeq uint64
+	// Checkpoint is the newest valid checkpoint's payload, nil when the
+	// directory holds no valid checkpoint.
+	Checkpoint []byte
+	// Records are the replayable records after the checkpoint: contiguous
+	// sequence numbers starting at CheckpointSeq+1.
+	Records []Record
+	// LastSeq is the highest durable sequence number:
+	// max(CheckpointSeq, last record). The next Append belongs at LastSeq+1.
+	LastSeq uint64
+	// Truncated reports that a torn or corrupt tail was found and
+	// discarded at a record boundary (the torn file was physically
+	// truncated so the next scan is clean).
+	Truncated bool
+}
+
+// Recover scans dir and returns everything needed to rebuild state: the
+// newest valid checkpoint plus the contiguous record suffix after it.
+//
+// The torn-tail rule: scanning stops at the first invalid record — a short
+// header, a length beyond the record cap, a checksum mismatch, or a
+// sequence break — and everything from there on (including later segment
+// files) is discarded. A partial final record is the expected signature of
+// a crash mid-append and is never fatal; only I/O errors are. The torn file
+// is truncated back to the last good record boundary so the discard is
+// idempotent. Records at or below the checkpoint are parsed (their
+// checksums still guard the scan) but not returned.
+//
+// A missing or empty directory is a valid empty log.
+func Recover(dir string) (*Recovery, error) {
+	rec := &Recovery{}
+	entries, err := os.ReadDir(dir)
+	if os.IsNotExist(err) {
+		return rec, nil
+	}
+	if err != nil {
+		return nil, fmt.Errorf("wal: reading data dir: %w", err)
+	}
+
+	var segs []uint64
+	var ckpts []uint64
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		if seq, ok := parseSeqName(e.Name(), "wal-", ".log"); ok {
+			segs = append(segs, seq)
+		}
+		if seq, ok := parseSeqName(e.Name(), "ckpt-", ".snap"); ok {
+			ckpts = append(ckpts, seq)
+		}
+	}
+	sort.Slice(segs, func(i, j int) bool { return segs[i] < segs[j] })
+	sort.Slice(ckpts, func(i, j int) bool { return ckpts[i] > ckpts[j] })
+
+	// Newest checkpoint that passes its checksum wins; a torn checkpoint
+	// (crash mid-write before the atomic rename would normally hide it, or
+	// bit rot after) falls back to the previous one.
+	for _, seq := range ckpts {
+		payload, err := readCheckpoint(ckptPath(dir, seq), seq)
+		if err != nil {
+			continue
+		}
+		rec.CheckpointSeq = seq
+		rec.Checkpoint = payload
+		break
+	}
+	rec.LastSeq = rec.CheckpointSeq
+
+	// Segments are named by their first sequence number, so the expectation
+	// is never open-ended: a segment's first record must be the seq in its
+	// name, and each later record the successor of the previous. A
+	// checksum-valid record at the wrong position (say, stray bytes appended
+	// to a freshly rotated, still-empty segment) is torn tail, not history.
+	expect := uint64(0)
+	for _, start := range segs {
+		if expect != 0 && start != expect {
+			// This segment does not continue the previous one's timeline
+			// (its predecessor lost records to truncation); past the break
+			// nothing is trustworthy.
+			rec.Truncated = true
+			break
+		}
+		expect = start
+		ok, err := scanSegment(segPath(dir, start), rec, &expect)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			// Torn or broken tail inside this segment: later segments are
+			// past the break and cannot be contiguous.
+			break
+		}
+	}
+	if len(rec.Records) > 0 && rec.Records[0].Seq != rec.CheckpointSeq+1 {
+		// The records do not connect to the checkpoint (a segment covering
+		// the gap is missing). Replaying them would skip acknowledged
+		// writes silently; refuse instead.
+		return nil, fmt.Errorf("wal: record gap after checkpoint %d (first surviving record is %d)",
+			rec.CheckpointSeq, rec.Records[0].Seq)
+	}
+	return rec, nil
+}
+
+// scanSegment appends path's valid records to rec. It returns ok=false when
+// the scan hit a torn/corrupt record (the file is truncated to the last
+// good boundary and later segments must be ignored); errors are real I/O
+// failures only.
+func scanSegment(path string, rec *Recovery, expect *uint64) (ok bool, err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return false, fmt.Errorf("wal: opening segment: %w", err)
+	}
+	defer f.Close()
+
+	br := bufio.NewReaderSize(f, 1<<16)
+	magic := make([]byte, len(segMagic))
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != segMagic {
+		if err == io.EOF {
+			// Zero-length segment: what truncating an unusable file leaves
+			// behind. Clean and empty, not torn — keeps recovery idempotent.
+			return true, nil
+		}
+		if err != nil && err != io.ErrUnexpectedEOF {
+			return false, fmt.Errorf("wal: reading segment magic: %w", err)
+		}
+		// A segment without its magic is a file the crash caught before the
+		// first durable write; nothing in it is trustworthy.
+		rec.Truncated = true
+		return false, truncateAt(f, path, 0)
+	}
+
+	good := int64(len(segMagic)) // last known-good record boundary
+	hdr := make([]byte, recordHeaderLen)
+	for {
+		if _, err := io.ReadFull(br, hdr); err != nil {
+			if err == io.EOF {
+				return true, nil // clean end of segment
+			}
+			if err == io.ErrUnexpectedEOF {
+				rec.Truncated = true // torn header
+				return false, truncateAt(f, path, good)
+			}
+			return false, fmt.Errorf("wal: reading record header: %w", err)
+		}
+		plen := binary.LittleEndian.Uint32(hdr[0:4])
+		seq := binary.LittleEndian.Uint64(hdr[4:12])
+		crc := binary.LittleEndian.Uint32(hdr[12:16])
+		if plen > maxRecordBytes || seq == 0 {
+			rec.Truncated = true
+			return false, truncateAt(f, path, good)
+		}
+		payload := make([]byte, plen)
+		if _, err := io.ReadFull(br, payload); err != nil {
+			if err == io.EOF || err == io.ErrUnexpectedEOF {
+				rec.Truncated = true // torn payload
+				return false, truncateAt(f, path, good)
+			}
+			return false, fmt.Errorf("wal: reading record payload: %w", err)
+		}
+		if recordCRC(seq, payload) != crc {
+			rec.Truncated = true
+			return false, truncateAt(f, path, good)
+		}
+		if seq != *expect {
+			// A checksum-valid record out of sequence: the log's timeline is
+			// broken here; everything from this point on is unusable.
+			rec.Truncated = true
+			return false, truncateAt(f, path, good)
+		}
+		*expect = seq + 1
+		good += recordHeaderLen + int64(plen)
+		if seq > rec.CheckpointSeq {
+			rec.Records = append(rec.Records, Record{Seq: seq, Payload: payload})
+		}
+		if seq > rec.LastSeq {
+			rec.LastSeq = seq
+		}
+	}
+}
+
+// truncateAt discards the torn tail of path past off so re-running recovery
+// sees a clean boundary. Truncation failure is not fatal — the same scan
+// will make the same decision next time.
+func truncateAt(f *os.File, path string, off int64) error {
+	_ = f.Close()
+	w, err := os.OpenFile(path, os.O_WRONLY, 0)
+	if err != nil {
+		return nil
+	}
+	_ = w.Truncate(off)
+	_ = w.Sync()
+	_ = w.Close()
+	return nil
+}
+
+// parseSeqName extracts the hex sequence number from prefix<seq>suffix.
+func parseSeqName(name, prefix, suffix string) (uint64, bool) {
+	if !strings.HasPrefix(name, prefix) || !strings.HasSuffix(name, suffix) {
+		return 0, false
+	}
+	hexPart := name[len(prefix) : len(name)-len(suffix)]
+	if len(hexPart) != 16 {
+		return 0, false
+	}
+	seq, err := strconv.ParseUint(hexPart, 16, 64)
+	if err != nil {
+		return 0, false
+	}
+	return seq, true
+}
+
+// RemoveObsolete deletes files a fresh checkpoint made redundant: segments
+// other than the active one (their records are all covered by the
+// checkpoint), checkpoints older than keepCkpt, and stray temp files from
+// interrupted checkpoint writes. Call it only after the covering checkpoint
+// is durably on disk. Removal failures are ignored — obsolete files are
+// garbage, not state, and the next checkpoint retries.
+func RemoveObsolete(dir string, activeSeg, keepCkpt uint64) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return
+	}
+	for _, e := range entries {
+		if e.IsDir() {
+			continue
+		}
+		name := e.Name()
+		if seq, ok := parseSeqName(name, "wal-", ".log"); ok && seq != activeSeg {
+			_ = os.Remove(filepath.Join(dir, name))
+		}
+		if seq, ok := parseSeqName(name, "ckpt-", ".snap"); ok && seq < keepCkpt {
+			_ = os.Remove(filepath.Join(dir, name))
+		}
+		if strings.HasSuffix(name, ".tmp") {
+			_ = os.Remove(filepath.Join(dir, name))
+		}
+	}
+}

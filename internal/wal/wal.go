@@ -1,0 +1,385 @@
+// Package wal implements the durability layer under tdbserve: a
+// write-ahead log of checksummed, length-prefixed records plus snapshot
+// checkpoint files that let the log be truncated (DESIGN.md §14).
+//
+// The log is a sequence of segment files (wal-<firstSeq>.log). Every record
+// carries a CRC32-C (Castagnoli) checksum and a monotonically increasing
+// sequence number, so recovery can detect a torn tail — a record the
+// process was mid-write on when it died — and discard it at a record
+// boundary instead of refusing to start. Checkpoint files
+// (ckpt-<seq>.snap) hold an opaque state snapshot covering every record up
+// to <seq>; recovery loads the newest valid checkpoint and replays only the
+// suffix, and segments at or below a durable checkpoint are deleted.
+//
+// Durability is governed by the fsync Policy:
+//
+//   - FsyncAlways — every Append syncs before returning; an acknowledged
+//     record survives any crash.
+//   - FsyncInterval — a background goroutine syncs every Interval; a crash
+//     loses at most the records acknowledged inside the last window.
+//   - FsyncNever — the OS flushes on its own schedule; a crash may lose
+//     any records the kernel had not written back (Close still syncs, so a
+//     graceful shutdown loses nothing).
+//
+// The append path guarantees the log never holds bytes for a write the
+// caller did not get a success for: a failed or panicking Append (including
+// a failed synchronous fsync) truncates the partial record back out before
+// the error propagates, so under FsyncAlways the on-disk record sequence is
+// exactly the acknowledged sequence.
+package wal
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"tdb/internal/fault"
+)
+
+// Policy selects when appended records are fsynced to stable storage.
+type Policy uint8
+
+const (
+	// FsyncAlways syncs inside every Append, before the record is
+	// acknowledged. The default.
+	FsyncAlways Policy = iota
+	// FsyncInterval syncs on a background timer (Options.Interval).
+	FsyncInterval
+	// FsyncNever leaves write-back to the operating system.
+	FsyncNever
+)
+
+// ParsePolicy parses "always", "interval" or "never".
+func ParsePolicy(s string) (Policy, error) {
+	switch s {
+	case "always":
+		return FsyncAlways, nil
+	case "interval":
+		return FsyncInterval, nil
+	case "never":
+		return FsyncNever, nil
+	}
+	return 0, fmt.Errorf("wal: unknown fsync policy %q (want always, interval or never)", s)
+}
+
+// String returns the flag spelling of p.
+func (p Policy) String() string {
+	switch p {
+	case FsyncAlways:
+		return "always"
+	case FsyncInterval:
+		return "interval"
+	case FsyncNever:
+		return "never"
+	}
+	return fmt.Sprintf("Policy(%d)", uint8(p))
+}
+
+// Options configures a Log.
+type Options struct {
+	// Fsync is the sync policy (default FsyncAlways).
+	Fsync Policy
+	// Interval is the background sync cadence under FsyncInterval
+	// (default 100ms).
+	Interval time.Duration
+}
+
+const (
+	segMagic = "TDBWAL01"
+	// recordHeaderLen is payload length (4) + sequence (8) + CRC32-C (4).
+	recordHeaderLen = 16
+	// maxRecordBytes bounds one record's payload; a length field beyond it
+	// is treated as corruption, never as an allocation request.
+	maxRecordBytes = 1 << 26
+)
+
+// castagnoli is the CRC32-C polynomial table (hardware-accelerated on
+// amd64/arm64), the same checksum most production WALs use.
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// recordCRC covers the sequence number and the payload, so a record copied
+// to the wrong position (or a stale record exposed by a short tail
+// truncate) fails its checksum even when its bytes are individually intact.
+func recordCRC(seq uint64, payload []byte) uint32 {
+	var sb [8]byte
+	binary.LittleEndian.PutUint64(sb[:], seq)
+	c := crc32.Update(0, castagnoli, sb[:])
+	return crc32.Update(c, castagnoli, payload)
+}
+
+func segPath(dir string, firstSeq uint64) string {
+	return filepath.Join(dir, fmt.Sprintf("wal-%016x.log", firstSeq))
+}
+
+// Log is an append-only write-ahead log. Append/Sync/Rotate/Close are safe
+// for concurrent use, though tdbserve drives them from its single writer
+// goroutine (plus the background sync timer under FsyncInterval).
+type Log struct {
+	dir  string
+	opts Options
+
+	mu       sync.Mutex
+	f        *os.File
+	segStart uint64 // first sequence number of the active segment
+	next     uint64 // sequence number the next Append will use
+	size     int64  // committed byte length of the active segment
+	dirty    bool   // bytes written since the last sync
+	failed   error  // sticky: a failed log never silently half-works
+
+	stop chan struct{} // interval syncer shutdown
+	done chan struct{}
+
+	appends atomic.Int64
+	fsyncs  atomic.Int64
+
+	recBuf []byte
+}
+
+// Create opens dir for appending with nextSeq as the first sequence number,
+// starting a fresh segment (an existing file with the same name — an orphan
+// from a truncated timeline — is clobbered). Call Recover first to learn
+// nextSeq; Create never reads existing records.
+func Create(dir string, nextSeq uint64, opts Options) (*Log, error) {
+	if nextSeq == 0 {
+		return nil, fmt.Errorf("wal: sequence numbers start at 1")
+	}
+	if opts.Interval <= 0 {
+		opts.Interval = 100 * time.Millisecond
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("wal: creating data dir: %w", err)
+	}
+	l := &Log{dir: dir, opts: opts, next: nextSeq}
+	if err := l.openSegmentLocked(nextSeq); err != nil {
+		return nil, err
+	}
+	if opts.Fsync == FsyncInterval {
+		l.stop = make(chan struct{})
+		l.done = make(chan struct{})
+		go l.syncLoop()
+	}
+	return l, nil
+}
+
+// openSegmentLocked starts the segment whose first record will be firstSeq:
+// create/truncate, write the magic, sync the file and the directory so the
+// segment itself survives a crash.
+func (l *Log) openSegmentLocked(firstSeq uint64) error {
+	f, err := os.OpenFile(segPath(l.dir, firstSeq), os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return fmt.Errorf("wal: opening segment: %w", err)
+	}
+	if _, err := f.WriteAt([]byte(segMagic), 0); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: writing segment magic: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return fmt.Errorf("wal: syncing new segment: %w", err)
+	}
+	if err := syncDir(l.dir); err != nil {
+		f.Close()
+		return err
+	}
+	l.f = f
+	l.segStart = firstSeq
+	l.size = int64(len(segMagic))
+	l.dirty = false
+	return nil
+}
+
+// syncDir makes directory-entry changes (new segments, checkpoint renames)
+// durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("wal: opening dir for sync: %w", err)
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		return fmt.Errorf("wal: syncing dir: %w", err)
+	}
+	return nil
+}
+
+// Append writes one record and returns its sequence number. Under
+// FsyncAlways the record is on stable storage when Append returns. On any
+// failure — a short write, a failed fsync, or a panic out of the fault
+// probes — the partial record is truncated back out of the file before the
+// error (or panic) propagates, so an unacknowledged batch never survives
+// into recovery.
+func (l *Log) Append(payload []byte) (seq uint64, err error) {
+	// Chaos hook: a panic here simulates the writer dying on the append
+	// path before any bytes are written; the log must stay byte-identical.
+	fault.Inject(fault.SiteWALAppend)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed != nil {
+		return 0, l.failed
+	}
+	if len(payload) > maxRecordBytes {
+		return 0, fmt.Errorf("wal: record payload %d bytes exceeds the %d byte cap", len(payload), maxRecordBytes)
+	}
+
+	need := recordHeaderLen + len(payload)
+	if cap(l.recBuf) < need {
+		l.recBuf = make([]byte, need)
+	}
+	rec := l.recBuf[:need]
+	binary.LittleEndian.PutUint32(rec[0:4], uint32(len(payload)))
+	binary.LittleEndian.PutUint64(rec[4:12], l.next)
+	binary.LittleEndian.PutUint32(rec[12:16], recordCRC(l.next, payload))
+	copy(rec[recordHeaderLen:], payload)
+
+	// Roll back on every non-committed exit, panics included: the bytes of
+	// a record the caller never got a success for must not linger in the
+	// file, or recovery would replay a batch the client was told failed.
+	committed := false
+	defer func() {
+		if !committed {
+			if terr := l.f.Truncate(l.size); terr != nil && l.failed == nil {
+				l.failed = fmt.Errorf("wal: truncating aborted record: %w", terr)
+			}
+			l.dirty = true // the truncate itself needs a sync eventually
+		}
+	}()
+
+	if _, werr := l.f.WriteAt(rec, l.size); werr != nil {
+		l.failed = fmt.Errorf("wal: appending record: %w", werr)
+		return 0, l.failed
+	}
+	l.dirty = true
+	if l.opts.Fsync == FsyncAlways {
+		if serr := l.syncLocked(); serr != nil {
+			return 0, serr
+		}
+	}
+	committed = true
+	l.size += int64(need)
+	seq = l.next
+	l.next++
+	l.appends.Add(1)
+	return seq, nil
+}
+
+// syncLocked fsyncs the active segment if it has unsynced bytes.
+func (l *Log) syncLocked() error {
+	if !l.dirty {
+		return nil
+	}
+	// Chaos hook: a panic here simulates an fsync failure with the record
+	// bytes already in the file; Append's rollback must remove them.
+	fault.Inject(fault.SiteWALFsync)
+	if err := l.f.Sync(); err != nil {
+		l.failed = fmt.Errorf("wal: fsync: %w", err)
+		return l.failed
+	}
+	l.dirty = false
+	l.fsyncs.Add(1)
+	return nil
+}
+
+// Sync flushes unsynced records to stable storage (a no-op when clean).
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed != nil {
+		return l.failed
+	}
+	return l.syncLocked()
+}
+
+// syncLoop is the FsyncInterval background syncer.
+func (l *Log) syncLoop() {
+	defer close(l.done)
+	t := time.NewTicker(l.opts.Interval)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			_ = l.Sync() // a failure is sticky; the next Append reports it
+		case <-l.stop:
+			return
+		}
+	}
+}
+
+// Rotate syncs and closes the active segment and starts a fresh one at the
+// next sequence number. Called after a checkpoint so the old segments can
+// be deleted.
+func (l *Log) Rotate() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.failed != nil {
+		return l.failed
+	}
+	if err := l.syncLocked(); err != nil {
+		return err
+	}
+	if err := l.f.Close(); err != nil {
+		l.failed = fmt.Errorf("wal: closing segment: %w", err)
+		return l.failed
+	}
+	if err := l.openSegmentLocked(l.next); err != nil {
+		l.failed = err
+		return err
+	}
+	return nil
+}
+
+// Close stops the background syncer (if any), flushes and fsyncs the tail
+// regardless of policy — a graceful shutdown must not leave acknowledged
+// records in the page cache — and closes the segment.
+func (l *Log) Close() error {
+	if l.stop != nil {
+		close(l.stop)
+		<-l.done
+		l.stop = nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return l.failed
+	}
+	err := l.failed
+	if err == nil {
+		err = l.syncLocked()
+	}
+	if cerr := l.f.Close(); err == nil && cerr != nil {
+		err = fmt.Errorf("wal: closing segment: %w", cerr)
+	}
+	l.f = nil
+	if l.failed == nil {
+		l.failed = fmt.Errorf("wal: log closed")
+	}
+	return err
+}
+
+// LastSeq returns the sequence number of the last appended record, or one
+// less than the starting sequence when nothing was appended.
+func (l *Log) LastSeq() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.next - 1
+}
+
+// SegmentStart returns the first sequence number of the active segment.
+func (l *Log) SegmentStart() uint64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.segStart
+}
+
+// Appends returns the number of records appended over the log's lifetime.
+func (l *Log) Appends() int64 { return l.appends.Load() }
+
+// Fsyncs returns the number of fsyncs issued over the log's lifetime.
+func (l *Log) Fsyncs() int64 { return l.fsyncs.Load() }
