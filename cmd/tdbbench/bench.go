@@ -71,7 +71,25 @@ func runBenchSuite(dir string, budget time.Duration) (string, error) {
 	g := wkv.Generate(0.2) // the mid-size reference workload (n=1400, m~20k)
 	plaw := gen.PowerLaw(5000, 30000, 2.0, 0.05, 9)
 
+	// The same WKV workload out of a memory-mapped TDBCSR1 file, so every
+	// report carries a memory-vs-mapped row pair for the solver hot path.
+	tmp, err := os.MkdirTemp("", "tdbbench-")
+	if err != nil {
+		return "", err
+	}
+	defer os.RemoveAll(tmp)
+	mappedPath := filepath.Join(tmp, "wkv.tdbcsr")
+	if err := tdb.SaveMapped(mappedPath, g); err != nil {
+		return "", err
+	}
+	mg, err := tdb.OpenMapped(mappedPath)
+	if err != nil {
+		return "", err
+	}
+	defer mg.Close()
+
 	eng := tdb.NewEngine(g)
+	mappedEng := tdb.NewStorageEngine(mg)
 	scalar := cycle.NewBFSFilter(plaw, 5, nil)
 	batch := cycle.NewBatchBFSFilter(plaw, 5, nil)
 	plawEdges := plaw.Edges()
@@ -94,6 +112,11 @@ func runBenchSuite(dir string, budget time.Duration) (string, error) {
 				panic(err)
 			}
 		}},
+		{"CoverRepeated/Engine/mapped", func() {
+			if _, err := mappedEng.Cover(ctx, 5, nil); err != nil {
+				panic(err)
+			}
+		}},
 		{"BFSFilterScalar/powerlaw", func() {
 			for v := 0; v < plaw.NumVertices(); v++ {
 				scalar.CanPrune(tdb.VID(v))
@@ -104,6 +127,9 @@ func runBenchSuite(dir string, budget time.Duration) (string, error) {
 		}},
 		{"HasHopConstrainedCycle/WKV", func() {
 			tdb.HasHopConstrainedCycle(g, 5)
+		}},
+		{"HasHopConstrainedCycle/WKV/mapped", func() {
+			tdb.HasHopConstrainedCycle(mg, 5)
 		}},
 		{"MaintainerInsert/powerlaw", func() {
 			m := tdb.NewMaintainer(plaw.NumVertices(), 5, 3)

@@ -8,13 +8,22 @@
 //	tdbgen -model smallworld -n 10000 -fwd 3 -chord 0.4 -o g.txt
 //	tdbgen -model planted   -n 10000 -cycles 20 -maxlen 6 -m 20000 -o g.txt
 //	tdbgen -model dataset   -dataset WKV -scale 0.05 -o wkv.bin
+//	tdbgen -i web-Google.txt.gz -o web-Google.tdbcsr
 //	tdbgen -list
+//
+// With -i, tdbgen converts an existing graph instead of generating one:
+// the input may be a SNAP-style text edge list (optionally gzipped), the
+// binary format or a TDBCSR1 mapped file, and the output format follows
+// -o/-format as usual. This is the ingestion path for real SNAP
+// downloads: one command turns web-Google.txt.gz into a servable mapped
+// file.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"tdb"
 )
@@ -42,7 +51,9 @@ func run(args []string) error {
 		maxLen  = fs.Int("maxlen", 6, "planted: maximum implanted cycle length")
 		dataset = fs.String("dataset", "", "dataset: registry name (see -list)")
 		scale   = fs.Float64("scale", 0.05, "dataset: fraction of the paper-reported size")
+		inPath  = fs.String("i", "", "convert this graph file instead of generating (SNAP text, .gz, .bin or .tdbcsr)")
 		outPath = fs.String("o", "", "output file (required; .bin selects the binary format)")
+		format  = fs.String("format", "auto", "output format: auto (by extension), text, bin or mapped (TDBCSR1, servable via -store mmap / OpenMapped)")
 		list    = fs.Bool("list", false, "list the dataset registry and exit")
 	)
 	if err := fs.Parse(args); err != nil {
@@ -66,6 +77,21 @@ func run(args []string) error {
 	}
 
 	var g *tdb.Graph
+	if *inPath != "" {
+		a, closeStorage, err := tdb.OpenStorage(*inPath)
+		if err != nil {
+			return err
+		}
+		g = tdb.Materialize(a)
+		if err := closeStorage(); err != nil {
+			return err
+		}
+		if err := save(*outPath, *format, g); err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "converted %s: wrote %v to %s\n", *inPath, g, *outPath)
+		return nil
+	}
 	switch *model {
 	case "er":
 		g = tdb.GenErdosRenyi(*n, *m, *seed)
@@ -87,9 +113,33 @@ func run(args []string) error {
 		return fmt.Errorf("unknown model %q", *model)
 	}
 
-	if err := tdb.SaveGraph(*outPath, g); err != nil {
+	if err := save(*outPath, *format, g); err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "wrote %v to %s\n", g, *outPath)
 	return nil
+}
+
+// save writes g in the requested format; "auto" keeps SaveGraph's
+// extension-based selection, with ".tdbcsr" extending it to the mapped
+// format.
+func save(path, format string, g *tdb.Graph) error {
+	if format == "auto" && strings.HasSuffix(path, ".tdbcsr") {
+		format = "mapped"
+	}
+	switch format {
+	case "auto", "text", "bin":
+		if format != "auto" {
+			// SaveGraph selects by extension; pin the format by rewriting the
+			// selector only when the caller forced one.
+			if (format == "bin") != strings.HasSuffix(path, ".bin") {
+				return fmt.Errorf("-format %s conflicts with extension of %s (use a matching extension or -format auto)", format, path)
+			}
+		}
+		return tdb.SaveGraph(path, g)
+	case "mapped":
+		return tdb.SaveMapped(path, g)
+	default:
+		return fmt.Errorf("unknown -format %q (want auto, text, bin or mapped)", format)
+	}
 }

@@ -70,6 +70,7 @@ func run(args []string) error {
 		writeQueue  = fs.Int("write-queue", 256, "writer queue depth (full queue sheds with 429)")
 		publishEach = fs.Int("publish-every", 512, "publish a fresh epoch after this many applied updates")
 		degrade     = fs.Bool("degrade", false, "default solves to partial_on_deadline (valid degraded cover instead of 504)")
+		store       = fs.String("store", "memory", "seed graph storage backend: memory (load into RAM) or mmap (serve the CSR out of a memory-mapped TDBCSR1 file, for graphs bigger than RAM)")
 		dataDir     = fs.String("data-dir", "", "durable state directory (WAL + checkpoints); empty = in-memory only")
 		fsyncMode   = fs.String("fsync", "always", "WAL sync policy: always, interval or never")
 		fsyncEvery  = fs.Duration("fsync-interval", 100*time.Millisecond, "background sync cadence under -fsync interval")
@@ -99,7 +100,7 @@ func run(args []string) error {
 		CheckpointEvery:   *ckptEvery,
 	}
 	if *graphPath != "" {
-		g, err := tdb.LoadGraph(*graphPath)
+		g, err := loadSeed(*graphPath, *store)
 		if err != nil {
 			return fmt.Errorf("loading graph: %w", err)
 		}
@@ -108,12 +109,16 @@ func run(args []string) error {
 		if err != nil {
 			return fmt.Errorf("solving seed cover: %w", err)
 		}
-		fmt.Fprintf(os.Stderr, "seed cover: %d vertices in %v\n",
-			len(res.Cover), res.Stats.Duration.Round(time.Millisecond))
+		fmt.Fprintf(os.Stderr, "seed cover: %d vertices in %v (storage=%s)\n",
+			len(res.Cover), res.Stats.Duration.Round(time.Millisecond), res.Stats.Storage)
 		cfg.Seed = g
 		cfg.SeedCover = res.Cover
+	} else if *store != "memory" {
+		return fmt.Errorf("-store %s requires -graph", *store)
 	}
 
+	// A mapped seed stays open for the process lifetime: every published
+	// epoch's base CSR aliases the mapping.
 	s, err := server.New(cfg)
 	if err != nil {
 		return err
@@ -149,4 +154,33 @@ func run(args []string) error {
 	}
 	fmt.Fprintln(os.Stderr, "drained; bye")
 	return nil
+}
+
+// loadSeed opens the seed graph under the requested storage backend.
+// "memory" loads any supported file format into the in-memory CSR. "mmap"
+// serves a TDBCSR1 file (made by tdbgen -format mapped or tdb.SaveMapped)
+// zero-copy out of a memory mapping — other formats are first converted to
+// a sibling .tdbcsr file, so a text edge list works with -store mmap at
+// the cost of a one-time conversion.
+func loadSeed(path, store string) (tdb.Storage, error) {
+	switch store {
+	case "memory":
+		return tdb.LoadGraph(path)
+	case "mmap":
+		if !tdb.IsMappedFile(path) {
+			g, err := tdb.LoadGraph(path)
+			if err != nil {
+				return nil, err
+			}
+			mappedPath := path + ".tdbcsr"
+			if err := tdb.SaveMapped(mappedPath, g); err != nil {
+				return nil, fmt.Errorf("converting to mapped format: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "converted %s to %s\n", path, mappedPath)
+			path = mappedPath
+		}
+		return tdb.OpenMapped(path)
+	default:
+		return nil, fmt.Errorf("unknown -store %q (want memory or mmap)", store)
+	}
 }

@@ -44,10 +44,14 @@ func run(args []string) error {
 		fs.Usage()
 		return fmt.Errorf("-graph is required")
 	}
-	g, err := tdb.LoadGraph(*graphPath)
+	// OpenStorage dispatches on the file: a TDBCSR1 file is served
+	// zero-copy out of a memory mapping (so profiling a larger-than-RAM
+	// graph does not load it), anything else loads as usual.
+	g, closeStorage, err := tdb.OpenStorage(*graphPath)
 	if err != nil {
 		return err
 	}
+	defer closeStorage()
 	p := graphstat.Compute(g, graphstat.Options{K: *k, MaxCycles: *maxCycles})
 	p.Fprint(os.Stdout)
 	graphstat.ComputeLocality(g).Fprint(os.Stdout, "input")
@@ -65,9 +69,15 @@ func run(args []string) error {
 			modes = []tdb.Renumbering{mode}
 		}
 	}
-	for _, mode := range modes {
-		ng := g.Renumber(tdb.RenumberPerm(g, mode))
-		graphstat.ComputeLocality(ng).Fprint(os.Stdout, mode.String())
+	if len(modes) > 0 {
+		mg, ok := g.(*tdb.Graph)
+		if !ok {
+			return fmt.Errorf("-renumber needs the in-memory backend; %s is a mapped file", *graphPath)
+		}
+		for _, mode := range modes {
+			ng := mg.Renumber(tdb.RenumberPerm(mg, mode))
+			graphstat.ComputeLocality(ng).Fprint(os.Stdout, mode.String())
+		}
 	}
 	return nil
 }

@@ -16,7 +16,7 @@ import (
 // into the cover (FindCoverNode, Alg. 6), and delete its edges. H
 // accumulates across the whole run, implementing the paper's "vertices hit
 // often before are likely to cover more cycles" heuristic.
-func bottomUp(g *digraph.Graph, opts Options, minimal bool, rs *runScratch) *Result {
+func bottomUp(g digraph.Adjacency, opts Options, minimal bool, rs *runScratch) *Result {
 	start := time.Now()
 	stop := opts.stop()
 	algo := BUR

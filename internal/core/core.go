@@ -207,7 +207,7 @@ func (o Options) withDefaults() Options {
 	return o
 }
 
-func (o Options) validate(g *digraph.Graph) error {
+func (o Options) validate(g digraph.Adjacency) error {
 	if o.MinLen < 2 {
 		return fmt.Errorf("core: MinLen %d < 2", o.MinLen)
 	}
@@ -287,6 +287,10 @@ type Stats struct {
 	// Workers is the effective worker count of the plan (1 for sequential
 	// plans); 0 when no planning step ran.
 	Workers int
+	// Storage names the adjacency backend the computation ran over
+	// ("memory" for the in-memory CSR, "mapped" for the mmap-backed
+	// segmented CSR) — the per-solve dimension tdbserve's metrics slice by.
+	Storage string
 }
 
 // Result is a computed cover plus its statistics.
@@ -317,7 +321,7 @@ func (r *Result) CoverSet(n int) []bool {
 // the O(n) scratch across runs. Compute returns an error only for invalid
 // options or (for DARC-DV) an infeasible line-graph blow-up; timeouts and
 // cancellation (Options.Context) are reported through Stats.TimedOut.
-func Compute(g *digraph.Graph, algo Algorithm, opts Options) (*Result, error) {
+func Compute(g digraph.Adjacency, algo Algorithm, opts Options) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(g); err != nil {
 		return nil, err
@@ -327,7 +331,7 @@ func Compute(g *digraph.Graph, algo Algorithm, opts Options) (*Result, error) {
 
 // compute dispatches a validated computation; rs supplies reusable scratch
 // (nil allocates fresh, the one-shot path).
-func compute(g *digraph.Graph, algo Algorithm, opts Options, rs *runScratch) (*Result, error) {
+func compute(g digraph.Adjacency, algo Algorithm, opts Options, rs *runScratch) (*Result, error) {
 	if err := checkPartialSupport(algo, opts); err != nil {
 		return nil, err
 	}
@@ -394,7 +398,7 @@ func stampStopReason(r *Result, opts Options) {
 }
 
 // finishStats fills the common fields of a result's statistics.
-func finishStats(r *Result, g *digraph.Graph, algo Algorithm, opts Options, start time.Time) {
+func finishStats(r *Result, g digraph.Adjacency, algo Algorithm, opts Options, start time.Time) {
 	slices.Sort(r.Cover)
 	r.Stats.Algorithm = algo.String()
 	r.Stats.K = opts.K
@@ -402,12 +406,13 @@ func finishStats(r *Result, g *digraph.Graph, algo Algorithm, opts Options, star
 	r.Stats.N = g.NumVertices()
 	r.Stats.M = g.NumEdges()
 	r.Stats.CoverSize = len(r.Cover)
+	r.Stats.Storage = digraph.StorageName(g)
 	r.Stats.Duration = time.Since(start)
 }
 
 // cycleCandidates returns the SCC prefilter mask (nil when disabled):
 // mask[v] is false for vertices provably on no cycle.
-func cycleCandidates(g *digraph.Graph, opts Options, st *Stats) []bool {
+func cycleCandidates(g digraph.Adjacency, opts Options, st *Stats) []bool {
 	if !opts.SCCPrefilter {
 		return nil
 	}

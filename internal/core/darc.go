@@ -24,7 +24,7 @@ const (
 // edge transversal: a set of edges intersecting every cycle of length in
 // [minLen, k]. cancelled (optional) is polled between edges; on timeout the
 // returned set is partial and the bool result is false.
-func DARCEdges(g *digraph.Graph, k, minLen int, cancelled func() bool) ([]digraph.Edge, bool) {
+func DARCEdges(g digraph.Adjacency, k, minLen int, cancelled func() bool) ([]digraph.Edge, bool) {
 	d := newDarc(g, k, minLen)
 	complete := d.run(cancelled)
 	var edges []digraph.Edge
@@ -37,7 +37,7 @@ func DARCEdges(g *digraph.Graph, k, minLen int, cancelled func() bool) ([]digrap
 }
 
 type darc struct {
-	g      *digraph.Graph
+	g      digraph.Adjacency
 	k      int
 	minLen int
 
@@ -61,7 +61,7 @@ type darc struct {
 	aborted   bool
 }
 
-func newDarc(g *digraph.Graph, k, minLen int) *darc {
+func newDarc(g digraph.Adjacency, k, minLen int) *darc {
 	return &darc{
 		g: g, k: k, minLen: minLen,
 		state:  make([]uint8, g.NumEdges()),
@@ -267,7 +267,7 @@ func (d *darc) dfs(cur, target VID, depth int) bool {
 // edges). Running the identical AUGMENT/PRUNE machinery directly on G's
 // edges with a vertex-simple cycle search covers exactly the cycles
 // Definition 1 demands, at the same O(n^k) worst case.
-func darcDV(g *digraph.Graph, opts Options) (*Result, error) {
+func darcDV(g digraph.Adjacency, opts Options) (*Result, error) {
 	start := time.Now()
 	r := &Result{}
 

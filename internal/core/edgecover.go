@@ -31,7 +31,7 @@ type EdgeCoverResult struct {
 // TopDownEdges computes a minimal constrained-cycle edge transversal with
 // the top-down process. Options are interpreted as for Compute; Order
 // orders candidate edges by their tail vertex.
-func TopDownEdges(g *digraph.Graph, opts Options) (*EdgeCoverResult, error) {
+func TopDownEdges(g digraph.Adjacency, opts Options) (*EdgeCoverResult, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(g); err != nil {
 		return nil, err
@@ -82,6 +82,7 @@ func TopDownEdges(g *digraph.Graph, opts Options) (*EdgeCoverResult, error) {
 	r.Stats.N = g.NumVertices()
 	r.Stats.M = g.NumEdges()
 	r.Stats.CoverSize = len(r.Edges)
+	r.Stats.Storage = digraph.StorageName(g)
 	r.Stats.Duration = time.Since(start)
 	return r, nil
 }
@@ -93,7 +94,7 @@ func TopDownEdges(g *digraph.Graph, opts Options) (*EdgeCoverResult, error) {
 // K-1 hops of v, no cycle exists — the analog of the paper's BFS filter);
 // only then does the exact DFS run.
 type edgeDetector struct {
-	g      *digraph.Graph
+	g      digraph.Adjacency
 	k      int
 	minLen int
 	bases  []int64
@@ -112,7 +113,7 @@ type edgeDetector struct {
 	aborted   bool
 }
 
-func newEdgeDetector(g *digraph.Graph, k, minLen int) *edgeDetector {
+func newEdgeDetector(g digraph.Adjacency, k, minLen int) *edgeDetector {
 	n := g.NumVertices()
 	d := &edgeDetector{
 		g: g, k: k, minLen: minLen,

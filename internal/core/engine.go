@@ -29,7 +29,7 @@ const rankExcluded = math.MaxInt32
 // ComputeParallel for the SCC-partitioned solver. Context is accepted
 // explicitly and takes precedence over Options.Context.
 type Engine struct {
-	g *digraph.Graph
+	g digraph.Adjacency
 	// run-level scratch (mask + order buffer + detector scratch), one per
 	// concurrent sequential run.
 	runPool sync.Pool
@@ -46,14 +46,14 @@ type Engine struct {
 }
 
 // NewEngine creates a reusable compute engine over g.
-func NewEngine(g *digraph.Graph) *Engine {
+func NewEngine(g digraph.Adjacency) *Engine {
 	e := &Engine{g: g, cycPool: cycle.NewScratchPool(g.NumVertices())}
 	e.runPool.New = func() any { return newRunScratch(g.NumVertices()) }
 	return e
 }
 
-// Graph returns the graph the engine computes over.
-func (e *Engine) Graph() *digraph.Graph { return e.g }
+// Graph returns the adjacency backend the engine computes over.
+func (e *Engine) Graph() digraph.Adjacency { return e.g }
 
 // Compute runs the selected algorithm with pooled scratch state. A nil ctx
 // falls back to opts.Context; a non-nil ctx supersedes it.
@@ -191,7 +191,7 @@ const viewMinAvgDegree = 2
 // edge limit, for near-acyclic graphs below the view's density cutoff, and
 // for the maskWorkingGraph opt-out (equivalence tests, comparison
 // benchmarks).
-func (rs *runScratch) workingGraph(g *digraph.Graph, opts Options, allActive bool) (*digraph.ActiveAdjacency, working) {
+func (rs *runScratch) workingGraph(g digraph.Adjacency, opts Options, allActive bool) (*digraph.ActiveAdjacency, working) {
 	if opts.maskWorkingGraph || !digraph.FitsActiveAdjacency(g) ||
 		g.NumEdges() < viewMinAvgDegree*g.NumVertices() {
 		if rs.active == nil {
@@ -200,7 +200,7 @@ func (rs *runScratch) workingGraph(g *digraph.Graph, opts Options, allActive boo
 		rs.active.Fill(allActive)
 		return nil, rs.active
 	}
-	if rs.view == nil || rs.view.Graph() != g {
+	if rs.view == nil || rs.view.Base() != g {
 		rs.view = digraph.NewActiveAdjacency(g, allActive)
 	} else if allActive {
 		// The bottom-up cover's results depend on the order the DFS scans

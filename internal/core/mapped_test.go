@@ -1,0 +1,44 @@
+package core
+
+import (
+	"path/filepath"
+	"slices"
+	"testing"
+
+	"tdb/internal/digraph"
+	"tdb/internal/gen"
+)
+
+// TestSolversOnMappedBackend runs every cover algorithm over the mapped
+// backend and asserts the covers are bit-identical to the in-memory runs —
+// the storage seam must be invisible to the algorithm layer.
+func TestSolversOnMappedBackend(t *testing.T) {
+	g := gen.PowerLaw(250, 1200, 2.2, 0.3, 51)
+	path := filepath.Join(t.TempDir(), "g.tdbcsr")
+	if err := digraph.WriteMapped(path, g); err != nil {
+		t.Fatal(err)
+	}
+	mg, err := digraph.OpenMapped(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer mg.Close()
+
+	for _, algo := range []Algorithm{TDB, TDBPlus, TDBPlusPlus, BUR, BURPlus} {
+		mem, err := Compute(g, algo, Options{K: 5})
+		if err != nil {
+			t.Fatalf("%v memory: %v", algo, err)
+		}
+		mapped, err := Compute(mg, algo, Options{K: 5})
+		if err != nil {
+			t.Fatalf("%v mapped: %v", algo, err)
+		}
+		if !slices.Equal(mem.Cover, mapped.Cover) {
+			t.Fatalf("%v covers diverge:\nmemory: %v\nmapped: %v", algo, mem.Cover, mapped.Cover)
+		}
+		if mem.Stats.Storage != "memory" || mapped.Stats.Storage != "mapped" {
+			t.Fatalf("%v Stats.Storage stamped %q/%q, want memory/mapped",
+				algo, mem.Stats.Storage, mapped.Stats.Storage)
+		}
+	}
+}

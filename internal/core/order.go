@@ -27,7 +27,7 @@ func ParseOrder(s string) (Order, error) {
 }
 
 // vertexOrder materializes the candidate processing order for the graph.
-func vertexOrder(g *digraph.Graph, opts Options) []VID {
+func vertexOrder(g digraph.Adjacency, opts Options) []VID {
 	return vertexOrderBuf(g, opts, nil)
 }
 
@@ -36,13 +36,13 @@ func vertexOrder(g *digraph.Graph, opts Options) []VID {
 // The solve-level renumbering support uses it to compute the order on the
 // ORIGINAL graph and replay it, mapped, on the renumbered one (see
 // Options.CandidateOrder).
-func VertexOrder(g *digraph.Graph, opts Options) []VID {
+func VertexOrder(g digraph.Adjacency, opts Options) []VID {
 	return vertexOrder(g, opts)
 }
 
 // vertexOrderBuf is vertexOrder writing into buf when it has the right
 // length (a pooled engine buffer), allocating otherwise.
-func vertexOrderBuf(g *digraph.Graph, opts Options, buf []VID) []VID {
+func vertexOrderBuf(g digraph.Adjacency, opts Options, buf []VID) []VID {
 	n := g.NumVertices()
 	ids := buf
 	if len(ids) != n {

@@ -29,7 +29,7 @@ import (
 // Cancellation (Options.Context or the deprecated Options.Cancelled) is
 // polled by every worker; a timeout marks the whole result. workers <= 0
 // selects GOMAXPROCS.
-func ComputeParallel(g *digraph.Graph, algo Algorithm, opts Options, workers int) (*Result, error) {
+func ComputeParallel(g digraph.Adjacency, algo Algorithm, opts Options, workers int) (*Result, error) {
 	return computeParallelWith(g, algo, opts, workers, nil)
 }
 
@@ -37,7 +37,7 @@ func ComputeParallel(g *digraph.Graph, algo Algorithm, opts Options, workers int
 // decomposition when the caller (the planning layer, which inspected the
 // condensation to choose this strategy) already has one; nil computes it
 // here.
-func computeParallelWith(g *digraph.Graph, algo Algorithm, opts Options, workers int, comps *scc.Result) (*Result, error) {
+func computeParallelWith(g digraph.Adjacency, algo Algorithm, opts Options, workers int, comps *scc.Result) (*Result, error) {
 	opts = opts.withDefaults()
 	if err := opts.validate(g); err != nil {
 		return nil, err
@@ -100,7 +100,7 @@ func computeParallelWith(g *digraph.Graph, algo Algorithm, opts Options, workers
 		for _, v := range verts {
 			keep[v] = true
 		}
-		sub, old := g.InducedSubgraph(keep)
+		sub, old := digraph.Induced(g, keep)
 		for _, v := range verts {
 			keep[v] = false
 		}

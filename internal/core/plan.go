@@ -188,7 +188,7 @@ func planFor(spec SolveSpec, n int, nontrivial func() int) Plan {
 // Solve plans and runs a cover computation one-shot. For repeated solves
 // over one graph use Engine.Solve, which additionally caches the
 // condensation inspection.
-func Solve(g *digraph.Graph, spec SolveSpec) (*Result, error) {
+func Solve(g digraph.Adjacency, spec SolveSpec) (*Result, error) {
 	var comps *scc.Result // planner's decomposition, reused by the executor
 	plan := planFor(spec, g.NumVertices(), func() int {
 		comps = scc.Compute(g)
@@ -217,7 +217,7 @@ func (e *Engine) Solve(ctx context.Context, spec SolveSpec) (*Result, error) {
 // engine path, and stamps the plan into the result's statistics. comps,
 // when non-nil, is the planner's SCC decomposition, handed to the
 // partitioned solver so it is not recomputed.
-func runPlan(e *Engine, g *digraph.Graph, spec SolveSpec, plan Plan, comps *scc.Result) (*Result, error) {
+func runPlan(e *Engine, g digraph.Adjacency, spec SolveSpec, plan Plan, comps *scc.Result) (*Result, error) {
 	opts := spec.Opts
 	var (
 		r   *Result

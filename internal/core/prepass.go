@@ -77,7 +77,7 @@ func prunedGroup(f *cycle.BatchPrefixFilter, batch []VID, prunedBuf []bool, reso
 // recovers, its siblings drain, its borrowed scratch is quarantined (never
 // returned to the pool), and the pass reports a PanicError carrying the
 // original stack.
-func prepass(g *digraph.Graph, opts Options, order []VID, candidates []bool, stop func() bool, st *Stats, rs *runScratch) ([]bool, error) {
+func prepass(g digraph.Adjacency, opts Options, order []VID, candidates []bool, stop func() bool, st *Stats, rs *runScratch) ([]bool, error) {
 	workers := opts.PrepassWorkers
 	if workers < 0 {
 		workers = runtime.GOMAXPROCS(0)

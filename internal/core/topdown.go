@@ -136,7 +136,7 @@ func (p *tierProbe) nextStretch(scansSoFar, candsSoFar int64) bool {
 // without any per-vertex check.
 //
 // The only error is a recovered prepass-worker panic (a PanicError).
-func topDown(g *digraph.Graph, algo Algorithm, opts Options, rs *runScratch) (*Result, error) {
+func topDown(g digraph.Adjacency, algo Algorithm, opts Options, rs *runScratch) (*Result, error) {
 	start := time.Now()
 	stop := opts.stop()
 	r := &Result{}
@@ -425,7 +425,7 @@ func topDown(g *digraph.Graph, algo Algorithm, opts Options, rs *runScratch) (*R
 // Unconstrained computes a minimal cover of cycles of every length (the
 // paper's Sec. VI-C variant) by running the requested top-down variant with
 // the hop constraint lifted to n.
-func Unconstrained(g *digraph.Graph, algo Algorithm, opts Options) (*Result, error) {
+func Unconstrained(g digraph.Adjacency, algo Algorithm, opts Options) (*Result, error) {
 	opts.K = cycle.Unconstrained(g)
 	return Compute(g, algo, opts)
 }

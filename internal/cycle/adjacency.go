@@ -14,19 +14,19 @@ import "tdb/internal/digraph"
 // Keeping the selection here, in one place, pins the three detectors'
 // activation semantics together.
 type adjacency struct {
-	g      *digraph.Graph
+	g      digraph.Adjacency
 	active []bool
 	view   *digraph.ActiveAdjacency
 }
 
 // maskAdjacency sources edges from g filtered by active (nil = all).
-func maskAdjacency(g *digraph.Graph, active []bool) adjacency {
+func maskAdjacency(g digraph.Adjacency, active []bool) adjacency {
 	return adjacency{g: g, active: active}
 }
 
 // viewAdjacency sources edges from the live slices of view.
 func viewAdjacency(view *digraph.ActiveAdjacency) adjacency {
-	return adjacency{g: view.Graph(), view: view}
+	return adjacency{g: view.Base(), view: view}
 }
 
 // startActive reports whether a query may start from v.

@@ -28,13 +28,13 @@ type BFSFilter struct {
 
 // NewBFSFilter creates a filter for hop constraint k over the subgraph
 // induced by active (nil = whole graph). The active slice is retained.
-func NewBFSFilter(g *digraph.Graph, k int, active []bool) *BFSFilter {
+func NewBFSFilter(g digraph.Adjacency, k int, active []bool) *BFSFilter {
 	return NewBFSFilterWith(g, k, active, nil)
 }
 
 // NewBFSFilterWith is NewBFSFilter borrowing the BFS buffers from s (nil
 // allocates fresh scratch). See Scratch for the sharing rules.
-func NewBFSFilterWith(g *digraph.Graph, k int, active []bool, s *Scratch) *BFSFilter {
+func NewBFSFilterWith(g digraph.Adjacency, k int, active []bool, s *Scratch) *BFSFilter {
 	if active != nil && len(active) != g.NumVertices() {
 		panic("cycle: BFSFilter active mask length mismatch")
 	}

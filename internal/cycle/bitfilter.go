@@ -99,13 +99,13 @@ type BatchBFSFilter struct {
 // NewBatchBFSFilter creates a batched filter for hop constraint k over the
 // subgraph induced by active (nil = whole graph). The active slice is
 // retained.
-func NewBatchBFSFilter(g *digraph.Graph, k int, active []bool) *BatchBFSFilter {
+func NewBatchBFSFilter(g digraph.Adjacency, k int, active []bool) *BatchBFSFilter {
 	return NewBatchBFSFilterWith(g, k, active, nil)
 }
 
 // NewBatchBFSFilterWith is NewBatchBFSFilter borrowing the lane buffers from
 // s (nil allocates fresh scratch). See Scratch for the sharing rules.
-func NewBatchBFSFilterWith(g *digraph.Graph, k int, active []bool, s *Scratch) *BatchBFSFilter {
+func NewBatchBFSFilterWith(g digraph.Adjacency, k int, active []bool, s *Scratch) *BatchBFSFilter {
 	if active != nil && len(active) != g.NumVertices() {
 		panic("cycle: BatchBFSFilter active mask length mismatch")
 	}
@@ -668,7 +668,7 @@ func (f *BatchBFSFilter) pruneWide(ls *laneState, nw int, sources []VID, pruned 
 // computation, and an indirect call there is measurable. The copies are
 // pinned together by the bitfilter property tests; change them in lockstep.
 type BatchPrefixFilter struct {
-	g     *digraph.Graph
+	g     digraph.Adjacency
 	k     int
 	pos   []int32 // pos[v] = rank of v in the candidate order
 	lanes int     // group-width cap; 0 means BatchWidth
@@ -687,7 +687,7 @@ type BatchPrefixFilter struct {
 // rewrite entries between calls (the top-down loop tracks its working graph
 // that way). Concurrent filters may share one pos array as long as nobody
 // writes it (the prepass does).
-func NewBatchPrefixFilterWith(g *digraph.Graph, k int, pos []int32, s *Scratch) *BatchPrefixFilter {
+func NewBatchPrefixFilterWith(g digraph.Adjacency, k int, pos []int32, s *Scratch) *BatchPrefixFilter {
 	f := &BatchPrefixFilter{}
 	f.Reinit(g, k, pos, s)
 	return f
@@ -697,7 +697,7 @@ func NewBatchPrefixFilterWith(g *digraph.Graph, k int, pos []int32, s *Scratch) 
 // NewBatchPrefixFilterWith without the allocation. Stats restart at zero and
 // the lane cap resets to the default; SetLanes again if the owner widened
 // it.
-func (f *BatchPrefixFilter) Reinit(g *digraph.Graph, k int, pos []int32, s *Scratch) {
+func (f *BatchPrefixFilter) Reinit(g digraph.Adjacency, k int, pos []int32, s *Scratch) {
 	if len(pos) != g.NumVertices() {
 		panic("cycle: BatchPrefixFilter pos length mismatch")
 	}

@@ -37,13 +37,13 @@ type BlockDetector struct {
 // NewBlockDetector creates a block-based detector for cycles of length in
 // [minLen, k] over the subgraph induced by active (nil = whole graph). The
 // active slice is retained, not copied.
-func NewBlockDetector(g *digraph.Graph, k, minLen int, active []bool) *BlockDetector {
+func NewBlockDetector(g digraph.Adjacency, k, minLen int, active []bool) *BlockDetector {
 	return NewBlockDetectorWith(g, k, minLen, active, nil)
 }
 
 // NewBlockDetectorWith is NewBlockDetector borrowing the DFS buffers from s
 // (nil allocates fresh scratch). See Scratch for the sharing rules.
-func NewBlockDetectorWith(g *digraph.Graph, k, minLen int, active []bool, s *Scratch) *BlockDetector {
+func NewBlockDetectorWith(g digraph.Adjacency, k, minLen int, active []bool, s *Scratch) *BlockDetector {
 	validate(g, k, minLen, active)
 	return &BlockDetector{
 		adjacency: maskAdjacency(g, active), k: k, minLen: minLen,
@@ -57,7 +57,7 @@ func NewBlockDetectorWith(g *digraph.Graph, k, minLen int, active []bool, s *Scr
 // view is retained, so Activate/Deactivate calls between queries are
 // visible to later queries.
 func NewBlockDetectorView(view *digraph.ActiveAdjacency, k, minLen int, s *Scratch) *BlockDetector {
-	validate(view.Graph(), k, minLen, nil)
+	validate(view.Base(), k, minLen, nil)
 	return &BlockDetector{
 		adjacency: viewAdjacency(view), k: k, minLen: minLen,
 		s: checkScratch(s, view.Len()),

@@ -75,7 +75,7 @@ func (s *Stats) Add(o Stats) {
 	s.Batches += o.Batches
 }
 
-func validate(g *digraph.Graph, k, minLen int, active []bool) {
+func validate(g digraph.Adjacency, k, minLen int, active []bool) {
 	if minLen < 2 {
 		panic(fmt.Sprintf("cycle: minLen %d < 2", minLen))
 	}
@@ -90,7 +90,7 @@ func validate(g *digraph.Graph, k, minLen int, active []bool) {
 // Unconstrained returns the hop bound that makes a detector equivalent to
 // the paper's "cycle cover without constraints" variant (Sec. VI-C): no
 // simple cycle can be longer than n, so k = n removes the constraint.
-func Unconstrained(g *digraph.Graph) int {
+func Unconstrained(g digraph.Adjacency) int {
 	n := g.NumVertices()
 	if n < DefaultMinLen {
 		return DefaultMinLen
@@ -153,13 +153,13 @@ func (d *PlainDetector) WasAborted() bool {
 // NewPlainDetector creates a detector for cycles of length in [minLen, k]
 // over the subgraph induced by active (nil = whole graph). The active slice
 // is retained, not copied, so mask updates are visible to later queries.
-func NewPlainDetector(g *digraph.Graph, k, minLen int, active []bool) *PlainDetector {
+func NewPlainDetector(g digraph.Adjacency, k, minLen int, active []bool) *PlainDetector {
 	return NewPlainDetectorWith(g, k, minLen, active, nil)
 }
 
 // NewPlainDetectorWith is NewPlainDetector borrowing the DFS buffers from s
 // (nil allocates fresh scratch). See Scratch for the sharing rules.
-func NewPlainDetectorWith(g *digraph.Graph, k, minLen int, active []bool, s *Scratch) *PlainDetector {
+func NewPlainDetectorWith(g digraph.Adjacency, k, minLen int, active []bool, s *Scratch) *PlainDetector {
 	validate(g, k, minLen, active)
 	return &PlainDetector{
 		adjacency: maskAdjacency(g, active), k: k, minLen: minLen,
@@ -172,7 +172,7 @@ func NewPlainDetectorWith(g *digraph.Graph, k, minLen int, active []bool, s *Scr
 // live edges (see digraph.ActiveAdjacency). The view is retained, so
 // Activate/Deactivate calls between queries are visible to later queries.
 func NewPlainDetectorView(view *digraph.ActiveAdjacency, k, minLen int, s *Scratch) *PlainDetector {
-	validate(view.Graph(), k, minLen, nil)
+	validate(view.Base(), k, minLen, nil)
 	return &PlainDetector{
 		adjacency: viewAdjacency(view), k: k, minLen: minLen,
 		s: checkScratch(s, view.Len()),

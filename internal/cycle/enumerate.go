@@ -10,7 +10,7 @@ import "tdb/internal/digraph"
 // only from its minimum-ID vertex, and the DFS from start s never descends
 // into vertices smaller than s.
 type Enumerator struct {
-	g      *digraph.Graph
+	g      digraph.Adjacency
 	k      int
 	minLen int
 	active []bool
@@ -20,13 +20,13 @@ type Enumerator struct {
 
 // NewEnumerator creates an enumerator for cycles of length in [minLen, k]
 // over the subgraph induced by active (nil = whole graph).
-func NewEnumerator(g *digraph.Graph, k, minLen int, active []bool) *Enumerator {
+func NewEnumerator(g digraph.Adjacency, k, minLen int, active []bool) *Enumerator {
 	return NewEnumeratorWith(g, k, minLen, active, nil)
 }
 
 // NewEnumeratorWith is NewEnumerator borrowing the DFS buffers from s (nil
 // allocates fresh scratch). See Scratch for the sharing rules.
-func NewEnumeratorWith(g *digraph.Graph, k, minLen int, active []bool, s *Scratch) *Enumerator {
+func NewEnumeratorWith(g digraph.Adjacency, k, minLen int, active []bool, s *Scratch) *Enumerator {
 	validate(g, k, minLen, active)
 	return &Enumerator{
 		g: g, k: k, minLen: minLen, active: active,

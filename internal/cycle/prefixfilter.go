@@ -20,7 +20,7 @@ import "tdb/internal/digraph"
 // indirect call there is measurable. The two copies are pinned together
 // by TestPrefixFilterMatchesBFSFilter; change them in lockstep.
 type PrefixFilter struct {
-	g   *digraph.Graph
+	g   digraph.Adjacency
 	k   int
 	pos []int32 // pos[v] = rank of v in the candidate order
 
@@ -34,7 +34,7 @@ type PrefixFilter struct {
 // buffers from s (nil allocates fresh scratch). The pos slice is retained
 // and must stay immutable while the filter is in use; it may be shared by
 // any number of filters across goroutines.
-func NewPrefixFilterWith(g *digraph.Graph, k int, pos []int32, s *Scratch) *PrefixFilter {
+func NewPrefixFilterWith(g digraph.Adjacency, k int, pos []int32, s *Scratch) *PrefixFilter {
 	if len(pos) != g.NumVertices() {
 		panic("cycle: PrefixFilter pos length mismatch")
 	}

@@ -5,9 +5,10 @@ import (
 	"math"
 )
 
-// ActiveAdjacency is a working-graph view over an immutable Graph that keeps,
-// for every vertex, its live (active-endpoint) out- and in-neighbors
-// physically contiguous, so traversals touch exactly the live edges.
+// ActiveAdjacency is a working-graph view over an immutable Adjacency
+// backend that keeps, for every vertex, its live (active-endpoint) out- and
+// in-neighbors physically contiguous, so traversals touch exactly the live
+// edges.
 //
 // The VertexMask overlay makes Activate/Deactivate O(1) but leaves every
 // traversal O(full degree): detectors iterate the whole CSR adjacency and
@@ -17,34 +18,52 @@ import (
 // Deactivate(v) cost O(deg(v)), and ActiveOut(v)/ActiveIn(v) return a
 // branch-free slice containing exactly the live neighbors.
 //
-// Representation: each vertex's adjacency segment (a mutable copy of the CSR
-// arrays) is partitioned by a prefix swap — the first live[u] entries of u's
-// segment are precisely u's active neighbors, in unspecified order. A
-// position index keyed by original CSR slot locates any edge's current
-// position in O(1), so moving a vertex into or out of a neighbor's active
-// prefix is a single swap. Cross-reference arrays link the out- and in-copy
-// of each edge, letting Activate(v) reach v's entry in every neighbor list
-// without searching.
+// Representation: each vertex's adjacency segment (a mutable copy of the
+// backend's rows) is partitioned by a prefix swap — the first live[u]
+// entries of u's segment are precisely u's active neighbors, in unspecified
+// order. A position index keyed by original CSR slot locates any edge's
+// current position in O(1), so moving a vertex into or out of a neighbor's
+// active prefix is a single swap. Cross-reference arrays link the out- and
+// in-copy of each edge, letting Activate(v) reach v's entry in every
+// neighbor list without searching.
+//
+// The view layers over any Adjacency: CSR-backed backends (Graph,
+// MappedGraph) hand it their index and adjacency arrays zero-copy, while a
+// generic backend has its rows materialized once at construction. Note that
+// building a view over a MappedGraph pages the whole adjacency in and
+// copies it to heap — the view is a working-graph representation, not an
+// out-of-core one; beyond-RAM graphs run on the VertexMask fallback.
 //
 // The view costs 32 bytes per edge plus 12 bytes per vertex on top of the
-// graph, and positions are int32, so it supports graphs with at most
+// backend, and positions are int32, so it supports graphs with at most
 // MaxInt32 edges (FitsActiveAdjacency); callers fall back to a VertexMask
 // beyond that.
 //
+// ActiveAdjacency satisfies Adjacency itself — Out/In return the LIVE
+// slices — so read-only consumers can take the working graph where they
+// take any other backend. NumEdges reports the underlying backend's edge
+// count (the view's capacity), not the live count.
+//
 // ActiveAdjacency is not safe for concurrent use.
 type ActiveAdjacency struct {
-	g      *Graph
+	base   Adjacency
+	n      int
 	active []bool
 	count  int
+
+	// Segment boundaries and the canonical (sorted) row contents — aliased
+	// from CSR-backed backends, materialized once otherwise.
+	outIdx, inIdx []int64
+	outRef, inRef []VID
 
 	out halfAdj
 	in  halfAdj
 }
 
 // halfAdj is one direction (out or in) of the partitioned adjacency;
-// segment boundaries come from the graph's CSR index arrays.
+// segment boundaries come from the view's index arrays.
 type halfAdj struct {
-	adj   []VID   // mutable copy of the CSR adjacency, permuted per segment
+	adj   []VID   // mutable copy of the canonical adjacency, permuted per segment
 	slot  []int32 // slot[p]: original CSR slot of the edge now at position p
 	pos   []int32 // pos[i]: current position of the edge at original slot i
 	live  []int32 // live[v]: length of v's active prefix
@@ -63,22 +82,44 @@ func (h *halfAdj) swap(p, q int64) {
 	h.pos[ip], h.pos[iq] = int32(q), int32(p)
 }
 
-// FitsActiveAdjacency reports whether g is small enough for the view's
+// FitsActiveAdjacency reports whether a is small enough for the view's
 // int32 position index.
-func FitsActiveAdjacency(g *Graph) bool {
-	return g.NumEdges() <= math.MaxInt32
+func FitsActiveAdjacency(a Adjacency) bool {
+	return a.NumEdges() <= math.MaxInt32
 }
 
-// NewActiveAdjacency builds a view over g with every vertex active
-// (allActive) or every vertex inactive. Construction is O(n + m); the view
-// retains g.
-func NewActiveAdjacency(g *Graph, allActive bool) *ActiveAdjacency {
-	if !FitsActiveAdjacency(g) {
-		panic(fmt.Sprintf("digraph: graph with m=%d exceeds the active-adjacency limit", g.NumEdges()))
+// refArrays returns the canonical CSR quadruple of a: aliased zero-copy
+// when the backend physically stores CSR arrays, materialized row by row
+// otherwise.
+func refArrays(a Adjacency) (outIdx []int64, outAdj []VID, inIdx []int64, inAdj []VID) {
+	if c, ok := a.(csrArrays); ok {
+		return c.csr()
 	}
-	n, m := g.n, g.NumEdges()
+	n, m := a.NumVertices(), a.NumEdges()
+	outIdx = make([]int64, n+1)
+	inIdx = make([]int64, n+1)
+	outAdj = make([]VID, 0, m)
+	inAdj = make([]VID, 0, m)
+	for v := 0; v < n; v++ {
+		outAdj = append(outAdj, a.Out(VID(v))...)
+		outIdx[v+1] = int64(len(outAdj))
+		inAdj = append(inAdj, a.In(VID(v))...)
+		inIdx[v+1] = int64(len(inAdj))
+	}
+	return outIdx, outAdj, inIdx, inAdj
+}
+
+// NewActiveAdjacency builds a view over a with every vertex active
+// (allActive) or every vertex inactive. Construction is O(n + m); the view
+// retains a.
+func NewActiveAdjacency(base Adjacency, allActive bool) *ActiveAdjacency {
+	if !FitsActiveAdjacency(base) {
+		panic(fmt.Sprintf("digraph: graph with m=%d exceeds the active-adjacency limit", base.NumEdges()))
+	}
+	n, m := base.NumVertices(), base.NumEdges()
 	a := &ActiveAdjacency{
-		g:      g,
+		base:   base,
+		n:      n,
 		active: make([]bool, n),
 		out: halfAdj{
 			adj: make([]VID, m), slot: make([]int32, m),
@@ -89,8 +130,9 @@ func NewActiveAdjacency(g *Graph, allActive bool) *ActiveAdjacency {
 			pos: make([]int32, m), live: make([]int32, n), cross: make([]int32, m),
 		},
 	}
-	copy(a.out.adj, g.outAdj)
-	copy(a.in.adj, g.inAdj)
+	a.outIdx, a.outRef, a.inIdx, a.inRef = refArrays(base)
+	copy(a.out.adj, a.outRef)
+	copy(a.in.adj, a.inRef)
 	for i := 0; i < m; i++ {
 		a.out.slot[i], a.out.pos[i] = int32(i), int32(i)
 		a.in.slot[i], a.in.pos[i] = int32(i), int32(i)
@@ -99,11 +141,11 @@ func NewActiveAdjacency(g *Graph, allActive bool) *ActiveAdjacency {
 	// that built the in-CSR: scanning edges in (U, V) order fills each
 	// in-list front to back.
 	fill := make([]int64, n)
-	copy(fill, g.inIdx[:n])
+	copy(fill, a.inIdx[:n])
 	for u := 0; u < n; u++ {
-		for i := g.outIdx[u]; i < g.outIdx[u+1]; i++ {
-			j := fill[g.outAdj[i]]
-			fill[g.outAdj[i]]++
+		for i := a.outIdx[u]; i < a.outIdx[u+1]; i++ {
+			j := fill[a.outRef[i]]
+			fill[a.outRef[i]]++
 			a.out.cross[i] = int32(j)
 			a.in.cross[j] = int32(i)
 		}
@@ -112,11 +154,30 @@ func NewActiveAdjacency(g *Graph, allActive bool) *ActiveAdjacency {
 	return a
 }
 
-// Graph returns the underlying immutable graph.
-func (a *ActiveAdjacency) Graph() *Graph { return a.g }
+// Base returns the underlying immutable adjacency backend.
+func (a *ActiveAdjacency) Base() Adjacency { return a.base }
 
-// Len returns the number of vertices of the underlying graph.
-func (a *ActiveAdjacency) Len() int { return a.g.n }
+// Len returns the number of vertices of the underlying backend.
+func (a *ActiveAdjacency) Len() int { return a.n }
+
+// NumVertices returns the number of vertices (Adjacency).
+func (a *ActiveAdjacency) NumVertices() int { return a.n }
+
+// NumEdges returns the edge count of the UNDERLYING backend — the view's
+// capacity, not the live count (Adjacency; see the type comment).
+func (a *ActiveAdjacency) NumEdges() int { return a.base.NumEdges() }
+
+// Out returns the live out-neighbors of v (Adjacency; equals ActiveOut).
+func (a *ActiveAdjacency) Out(v VID) []VID { return a.ActiveOut(v) }
+
+// In returns the live in-neighbors of v (Adjacency; equals ActiveIn).
+func (a *ActiveAdjacency) In(v VID) []VID { return a.ActiveIn(v) }
+
+// OutDegree returns the live out-degree of v (Adjacency).
+func (a *ActiveAdjacency) OutDegree(v VID) int { return int(a.out.live[v]) }
+
+// InDegree returns the live in-degree of v (Adjacency).
+func (a *ActiveAdjacency) InDegree(v VID) int { return int(a.in.live[v]) }
 
 // Active reports whether v is active.
 func (a *ActiveAdjacency) Active(v VID) bool { return a.active[v] }
@@ -128,14 +189,14 @@ func (a *ActiveAdjacency) NumActive() int { return a.count }
 // slice aliases internal storage and is invalidated by the next
 // Activate/Deactivate/Reset; it must not be modified.
 func (a *ActiveAdjacency) ActiveOut(v VID) []VID {
-	s := a.g.outIdx[v]
+	s := a.outIdx[v]
 	return a.out.adj[s : s+int64(a.out.live[v])]
 }
 
 // ActiveIn returns the active in-neighbors of v under the same rules as
 // ActiveOut.
 func (a *ActiveAdjacency) ActiveIn(v VID) []VID {
-	s := a.g.inIdx[v]
+	s := a.inIdx[v]
 	return a.in.adj[s : s+int64(a.in.live[v])]
 }
 
@@ -153,19 +214,18 @@ func (a *ActiveAdjacency) Activate(v VID) bool {
 	}
 	a.active[v] = true
 	a.count++
-	g := a.g
 	// v enters the active prefix of every in-neighbor's out-list...
-	for j := g.inIdx[v]; j < g.inIdx[v+1]; j++ {
-		u := g.inAdj[j]
+	for j := a.inIdx[v]; j < a.inIdx[v+1]; j++ {
+		u := a.inRef[j]
 		i := a.in.cross[j] // out-slot of the edge (u, v)
-		a.out.swap(int64(a.out.pos[i]), g.outIdx[u]+int64(a.out.live[u]))
+		a.out.swap(int64(a.out.pos[i]), a.outIdx[u]+int64(a.out.live[u]))
 		a.out.live[u]++
 	}
 	// ...and the active prefix of every out-neighbor's in-list.
-	for i := g.outIdx[v]; i < g.outIdx[v+1]; i++ {
-		w := g.outAdj[i]
+	for i := a.outIdx[v]; i < a.outIdx[v+1]; i++ {
+		w := a.outRef[i]
 		j := a.out.cross[i] // in-slot of the edge (v, w)
-		a.in.swap(int64(a.in.pos[j]), g.inIdx[w]+int64(a.in.live[w]))
+		a.in.swap(int64(a.in.pos[j]), a.inIdx[w]+int64(a.in.live[w]))
 		a.in.live[w]++
 	}
 	return true
@@ -179,18 +239,17 @@ func (a *ActiveAdjacency) Deactivate(v VID) bool {
 	}
 	a.active[v] = false
 	a.count--
-	g := a.g
-	for j := g.inIdx[v]; j < g.inIdx[v+1]; j++ {
-		u := g.inAdj[j]
+	for j := a.inIdx[v]; j < a.inIdx[v+1]; j++ {
+		u := a.inRef[j]
 		i := a.in.cross[j]
 		a.out.live[u]--
-		a.out.swap(int64(a.out.pos[i]), g.outIdx[u]+int64(a.out.live[u]))
+		a.out.swap(int64(a.out.pos[i]), a.outIdx[u]+int64(a.out.live[u]))
 	}
-	for i := g.outIdx[v]; i < g.outIdx[v+1]; i++ {
-		w := g.outAdj[i]
+	for i := a.outIdx[v]; i < a.outIdx[v+1]; i++ {
+		w := a.outRef[i]
 		j := a.out.cross[i]
 		a.in.live[w]--
-		a.in.swap(int64(a.in.pos[j]), g.inIdx[w]+int64(a.in.live[w]))
+		a.in.swap(int64(a.in.pos[j]), a.inIdx[w]+int64(a.in.live[w]))
 	}
 	return true
 }
@@ -203,8 +262,8 @@ func (a *ActiveAdjacency) Deactivate(v VID) bool {
 // Callers whose results depend on iteration order (the bottom-up cover)
 // reset canonically so a pooled view behaves exactly like a fresh one.
 func (a *ActiveAdjacency) ResetCanonical(allActive bool) {
-	copy(a.out.adj, a.g.outAdj)
-	copy(a.in.adj, a.g.inAdj)
+	copy(a.out.adj, a.outRef)
+	copy(a.in.adj, a.inRef)
 	for i := range a.out.slot {
 		a.out.slot[i], a.out.pos[i] = int32(i), int32(i)
 		a.in.slot[i], a.in.pos[i] = int32(i), int32(i)
@@ -220,13 +279,12 @@ func (a *ActiveAdjacency) ResetCanonical(allActive bool) {
 // order must match a freshly built view.
 func (a *ActiveAdjacency) Reset(allActive bool) {
 	if allActive {
-		g := a.g
-		for v := 0; v < g.n; v++ {
-			a.out.live[v] = int32(g.outIdx[v+1] - g.outIdx[v])
-			a.in.live[v] = int32(g.inIdx[v+1] - g.inIdx[v])
+		for v := 0; v < a.n; v++ {
+			a.out.live[v] = int32(a.outIdx[v+1] - a.outIdx[v])
+			a.in.live[v] = int32(a.inIdx[v+1] - a.inIdx[v])
 			a.active[v] = true
 		}
-		a.count = g.n
+		a.count = a.n
 	} else {
 		clear(a.out.live)
 		clear(a.in.live)

@@ -1,0 +1,203 @@
+package digraph
+
+import "slices"
+
+// Adjacency is the read-side contract every cycle-cover algorithm in this
+// repository consumes: a directed graph exposing per-vertex neighbor lists
+// as slices. It decouples the algorithms from WHERE the bytes live — the
+// in-memory CSR (Graph), the mmap-backed segmented CSR for graphs larger
+// than RAM (MappedGraph), or the compacted working-graph view
+// (ActiveAdjacency) — so detectors, filters and solvers compile against
+// this interface only and backends decide the storage.
+//
+// Contract:
+//   - Vertices are dense integers in [0, NumVertices()).
+//   - Out(v) and In(v) return the out-/in-neighbors of v. The slices alias
+//     backend storage and must not be modified; callers may hold them only
+//     until the next mutation of the backend (immutable backends never
+//     invalidate them). Slice-returning accessors keep hot traversal loops
+//     zero-copy: scanning a row is a bounds-checked range over backend
+//     memory, never an iterator allocation or a per-edge virtual call.
+//   - Out(v) of the immutable backends is sorted ascending (the Builder
+//     freezes rows sorted and deduplicated); working-graph views may
+//     permute rows, so order-sensitive callers must not rely on it there.
+//   - NumEdges() is the total directed edge count of the backend (for
+//     views: of the underlying graph — the view's capacity).
+//
+// The dynamic package's Maintainer intentionally does NOT satisfy
+// Adjacency: its live adjacency is a CSR base plus delta buffers, and
+// materializing rows would allocate. Snapshots of it (Epoch.Graph) do.
+type Adjacency interface {
+	// NumVertices returns the number of vertices, n.
+	NumVertices() int
+	// NumEdges returns the number of directed edges, m.
+	NumEdges() int
+	// Out returns the out-neighbors of v. The slice aliases backend
+	// storage and must not be modified.
+	Out(v VID) []VID
+	// In returns the in-neighbors of v under the same rules as Out.
+	In(v VID) []VID
+	// OutDegree returns len(Out(v)) without materializing the slice header.
+	OutDegree(v VID) int
+	// InDegree returns len(In(v)).
+	InDegree(v VID) int
+}
+
+// Storager is optionally implemented by Adjacency backends to name their
+// storage backend ("memory", "mapped") for observability; see StorageName.
+type Storager interface {
+	StorageName() string
+}
+
+// Compile-time interface checks for the package's backends.
+var (
+	_ Adjacency = (*Graph)(nil)
+	_ Adjacency = (*MappedGraph)(nil)
+	_ Adjacency = (*ActiveAdjacency)(nil)
+	_ Storager  = (*Graph)(nil)
+	_ Storager  = (*MappedGraph)(nil)
+)
+
+// StorageName names the storage backend of a: the backend's own name when
+// it implements Storager, "view" for working-graph views, "custom"
+// otherwise. The solve layers stamp it into core.Stats.Storage so serving
+// metrics can slice per-solve series by backend.
+func StorageName(a Adjacency) string {
+	switch b := a.(type) {
+	case Storager:
+		return b.StorageName()
+	case *ActiveAdjacency:
+		return "view"
+	default:
+		return "custom"
+	}
+}
+
+// csrArrays is implemented by backends whose adjacency physically IS a
+// compressed-sparse-row quadruple, letting layered representations
+// (ActiveAdjacency) and bulk operations alias the arrays zero-copy instead
+// of re-materializing them row by row. Backends outside this package go
+// through the generic Adjacency path.
+type csrArrays interface {
+	csr() (outIdx []int64, outAdj []VID, inIdx []int64, inAdj []VID)
+}
+
+func (g *Graph) csr() ([]int64, []VID, []int64, []VID) {
+	return g.outIdx, g.outAdj, g.inIdx, g.inAdj
+}
+
+// HasArc reports whether the directed edge (u, v) exists in a, by binary
+// search over u's sorted out-row — O(log outdeg(u)). It requires the
+// backend's rows sorted ascending (true for the immutable backends; do not
+// use over a working-graph view, whose rows are permuted).
+func HasArc(a Adjacency, u, v VID) bool {
+	if h, ok := a.(interface{ HasEdge(u, v VID) bool }); ok {
+		return h.HasEdge(u, v)
+	}
+	_, found := slices.BinarySearch(a.Out(u), v)
+	return found
+}
+
+// Induced builds an in-memory subgraph of a containing only the vertices
+// for which keep[v] is true, re-labelling them densely while preserving
+// relative order. It returns the subgraph and the mapping newID -> oldID.
+// Self-loops are dropped, matching the default Builder policy.
+//
+// The sub-CSR is constructed directly with counting passes instead of
+// re-feeding edges through a Builder: the source rows are already sorted
+// and duplicate-free, and the dense relabelling is monotone, so the kept
+// edges are already in CSR order — no re-sort, no dedup. This is on the
+// per-SCC path of the parallel solver, which carves one subgraph per
+// component; the result is always an in-memory Graph regardless of the
+// source backend (components are cover-sized, not storage-sized).
+//
+// It panics if len(keep) != a.NumVertices().
+func Induced(a Adjacency, keep []bool) (*Graph, []VID) {
+	n := a.NumVertices()
+	if len(keep) != n {
+		panic("digraph: keep mask length mismatch")
+	}
+	newID := make([]int64, n)
+	oldID := make([]VID, 0)
+	for v := 0; v < n; v++ {
+		if keep[v] {
+			newID[v] = int64(len(oldID))
+			oldID = append(oldID, VID(v))
+		} else {
+			newID[v] = -1
+		}
+	}
+	n2 := len(oldID)
+	sub := &Graph{
+		n:      n2,
+		outIdx: make([]int64, n2+1),
+		inIdx:  make([]int64, n2+1),
+	}
+	// Pass 1: count kept out- and in-edges per new vertex.
+	for newU, old := range oldID {
+		for _, w := range a.Out(old) {
+			if keep[w] && w != old {
+				sub.outIdx[newU+1]++
+				sub.inIdx[newID[w]+1]++
+			}
+		}
+	}
+	for v := 0; v < n2; v++ {
+		sub.outIdx[v+1] += sub.outIdx[v]
+		sub.inIdx[v+1] += sub.inIdx[v]
+	}
+	m2 := sub.outIdx[n2]
+	sub.outAdj = make([]VID, m2)
+	sub.inAdj = make([]VID, m2)
+	// Pass 2: fill. Scanning kept edges in old (U, V) order emits them in
+	// new (U, V) order (the relabelling is monotone), so out-lists fill
+	// sequentially sorted and in-lists come out sorted by U as in Build.
+	fill := make([]int64, n2)
+	copy(fill, sub.inIdx[:n2])
+	p := int64(0)
+	for _, old := range oldID {
+		for _, w := range a.Out(old) {
+			if keep[w] && w != old {
+				nw := newID[w]
+				sub.outAdj[p] = VID(nw)
+				p++
+				sub.inAdj[fill[nw]] = VID(newID[old])
+				fill[nw]++
+			}
+		}
+	}
+	return sub, oldID
+}
+
+// Materialize copies a into a fresh in-memory Graph. The source rows are
+// trusted sorted and duplicate-free (every backend in this package freezes
+// them that way), so the CSR arrays are filled directly without the
+// Builder's re-sort. A *Graph source is returned as-is: Graph is immutable,
+// so sharing is safe and the copy would be pure waste.
+func Materialize(a Adjacency) *Graph {
+	if g, ok := a.(*Graph); ok {
+		return g
+	}
+	n, m := a.NumVertices(), a.NumEdges()
+	g := &Graph{
+		n:      n,
+		outIdx: make([]int64, n+1),
+		outAdj: make([]VID, 0, m),
+		inIdx:  make([]int64, n+1),
+		inAdj:  make([]VID, m),
+	}
+	for v := 0; v < n; v++ {
+		g.outAdj = append(g.outAdj, a.Out(VID(v))...)
+		g.outIdx[v+1] = int64(len(g.outAdj))
+		g.inIdx[v+1] = g.inIdx[v] + int64(a.InDegree(VID(v)))
+	}
+	fill := make([]int64, n)
+	copy(fill, g.inIdx[:n])
+	for u := 0; u < n; u++ {
+		for _, w := range a.Out(VID(u)) {
+			g.inAdj[fill[w]] = VID(u)
+			fill[w]++
+		}
+	}
+	return g
+}

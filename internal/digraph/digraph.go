@@ -20,7 +20,6 @@ package digraph
 import (
 	"fmt"
 	"slices"
-	"sort"
 )
 
 // VID identifies a vertex. Vertices are dense integers in [0, NumVertices).
@@ -80,11 +79,16 @@ func (g *Graph) InDegree(v VID) int {
 
 // HasEdge reports whether the directed edge (u, v) exists.
 // It binary-searches u's sorted out-adjacency, so it costs O(log outdeg(u)).
+// slices.BinarySearch compiles to a direct comparison loop over the VID
+// slice — no per-probe closure call as with sort.Search
+// (BenchmarkHasEdge).
 func (g *Graph) HasEdge(u, v VID) bool {
-	adj := g.Out(u)
-	i := sort.Search(len(adj), func(i int) bool { return adj[i] >= v })
-	return i < len(adj) && adj[i] == v
+	_, found := slices.BinarySearch(g.Out(u), v)
+	return found
 }
+
+// StorageName identifies the backend for observability: the in-memory CSR.
+func (g *Graph) StorageName() string { return "memory" }
 
 // Edges returns all edges in (u, v) lexicographic order. It allocates a fresh
 // slice of length NumEdges.
@@ -125,71 +129,15 @@ func (g *Graph) Transpose() *Graph {
 
 // InducedSubgraph builds a new graph containing only the vertices for which
 // keep[v] is true, re-labelling them densely while preserving relative order.
-// It returns the subgraph and the mapping newID -> oldID. Self-loops are
-// dropped, matching the default Builder policy.
-//
-// The sub-CSR is constructed directly with counting passes instead of
-// re-feeding edges through a Builder: the source adjacency is already
-// sorted and duplicate-free, and the dense relabelling is monotone, so the
-// kept edges are already in CSR order — no re-sort, no dedup. This is on
-// the per-SCC path of the parallel solver, which carves one subgraph per
-// component.
+// It returns the subgraph and the mapping newID -> oldID. See Induced, the
+// backend-generic form this delegates to.
 //
 // It panics if len(keep) != NumVertices.
 func (g *Graph) InducedSubgraph(keep []bool) (*Graph, []VID) {
 	if len(keep) != g.n {
 		panic(fmt.Sprintf("digraph: keep mask length %d != n %d", len(keep), g.n))
 	}
-	newID := make([]int64, g.n)
-	oldID := make([]VID, 0)
-	for v := 0; v < g.n; v++ {
-		if keep[v] {
-			newID[v] = int64(len(oldID))
-			oldID = append(oldID, VID(v))
-		} else {
-			newID[v] = -1
-		}
-	}
-	n2 := len(oldID)
-	sub := &Graph{
-		n:      n2,
-		outIdx: make([]int64, n2+1),
-		inIdx:  make([]int64, n2+1),
-	}
-	// Pass 1: count kept out- and in-edges per new vertex.
-	for newU, old := range oldID {
-		for _, w := range g.Out(old) {
-			if keep[w] && w != old {
-				sub.outIdx[newU+1]++
-				sub.inIdx[newID[w]+1]++
-			}
-		}
-	}
-	for v := 0; v < n2; v++ {
-		sub.outIdx[v+1] += sub.outIdx[v]
-		sub.inIdx[v+1] += sub.inIdx[v]
-	}
-	m2 := sub.outIdx[n2]
-	sub.outAdj = make([]VID, m2)
-	sub.inAdj = make([]VID, m2)
-	// Pass 2: fill. Scanning kept edges in old (U, V) order emits them in
-	// new (U, V) order (the relabelling is monotone), so out-lists fill
-	// sequentially sorted and in-lists come out sorted by U as in Build.
-	fill := make([]int64, n2)
-	copy(fill, sub.inIdx[:n2])
-	p := int64(0)
-	for _, old := range oldID {
-		for _, w := range g.Out(old) {
-			if keep[w] && w != old {
-				nw := newID[w]
-				sub.outAdj[p] = VID(nw)
-				p++
-				sub.inAdj[fill[nw]] = VID(newID[old])
-				fill[nw]++
-			}
-		}
-	}
-	return sub, oldID
+	return Induced(g, keep)
 }
 
 // Builder accumulates edges and produces an immutable Graph.

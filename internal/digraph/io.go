@@ -2,6 +2,7 @@ package digraph
 
 import (
 	"bufio"
+	"compress/gzip"
 	"encoding/binary"
 	"fmt"
 	"io"
@@ -155,17 +156,30 @@ func ReadBinary(r io.Reader) (*Graph, error) {
 }
 
 // LoadFile loads a graph from path, choosing the format by extension:
-// ".bin" uses the binary format, anything else the text edge list.
+// ".bin" uses the binary format, anything else the text edge list. A
+// trailing ".gz" on either transparently decompresses (SNAP distributes
+// edge lists gzipped), so "web-Google.txt.gz" loads directly.
 func LoadFile(path string) (*Graph, error) {
 	f, err := os.Open(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	if strings.HasSuffix(path, ".bin") {
-		return ReadBinary(f)
+	var r io.Reader = f
+	stem := path
+	if strings.HasSuffix(path, ".gz") {
+		zr, err := gzip.NewReader(f)
+		if err != nil {
+			return nil, fmt.Errorf("digraph: opening gzip stream: %w", err)
+		}
+		defer zr.Close()
+		r = zr
+		stem = strings.TrimSuffix(path, ".gz")
 	}
-	return ReadEdgeList(f)
+	if strings.HasSuffix(stem, ".bin") {
+		return ReadBinary(r)
+	}
+	return ReadEdgeList(r)
 }
 
 // SaveFile writes a graph to path, choosing the format by extension as in

@@ -2,6 +2,7 @@ package digraph
 
 import (
 	"bytes"
+	"compress/gzip"
 	"math/rand/v2"
 	"os"
 	"path/filepath"
@@ -121,5 +122,53 @@ func TestLoadSaveFile(t *testing.T) {
 func TestLoadFileMissing(t *testing.T) {
 	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.txt")); !os.IsNotExist(err) {
 		t.Fatalf("want not-exist error, got %v", err)
+	}
+}
+
+// SNAP distributes edge lists gzipped; LoadFile must decompress ".gz"
+// transparently for both text and binary payloads.
+func TestLoadFileGzip(t *testing.T) {
+	rng := rand.New(rand.NewPCG(21, 22))
+	g := randomGraph(rng, 40, 200)
+
+	for _, stem := range []string{"g.txt", "g.bin"} {
+		path := filepath.Join(t.TempDir(), stem+".gz")
+		var raw bytes.Buffer
+		var err error
+		if strings.HasSuffix(stem, ".bin") {
+			err = WriteBinary(&raw, g)
+		} else {
+			err = WriteEdgeList(&raw, g)
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		var zbuf bytes.Buffer
+		zw := gzip.NewWriter(&zbuf)
+		if _, err := zw.Write(raw.Bytes()); err != nil {
+			t.Fatal(err)
+		}
+		if err := zw.Close(); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, zbuf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		g2, err := LoadFile(path)
+		if err != nil {
+			t.Fatalf("LoadFile(%s): %v", path, err)
+		}
+		if !reflect.DeepEqual(g.Edges(), g2.Edges()) {
+			t.Fatalf("%s: gzip round trip changed edges", stem)
+		}
+	}
+
+	// A .gz path whose payload is not gzip must error cleanly.
+	bad := filepath.Join(t.TempDir(), "bad.txt.gz")
+	if err := os.WriteFile(bad, []byte("0 1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadFile(bad); err == nil {
+		t.Fatal("LoadFile accepted a non-gzip .gz file")
 	}
 }

@@ -1,0 +1,374 @@
+package digraph
+
+import (
+	"bytes"
+	"encoding/binary"
+	"math/rand/v2"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// dupGraph builds a deterministic pseudo-random graph with self-loops
+// and duplicate insertions, the shapes Build has to normalize away.
+func dupGraph(n, m int, seed uint64) *Graph {
+	rng := rand.New(rand.NewPCG(seed, 17))
+	b := NewBuilder(n)
+	for i := 0; i < m; i++ {
+		u, v := VID(rng.IntN(n)), VID(rng.IntN(n))
+		b.AddEdge(u, v)
+		if rng.IntN(8) == 0 {
+			b.AddEdge(u, v) // duplicate; must dedup
+		}
+	}
+	return b.Build()
+}
+
+// writeTempMapped round-trips g through the TDBCSR1 format in a temp dir.
+func writeTempMapped(t *testing.T, g Adjacency) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "g.tdbcsr")
+	if err := WriteMapped(path, g); err != nil {
+		t.Fatalf("WriteMapped: %v", err)
+	}
+	return path
+}
+
+// assertSameAdjacency fails unless a and b expose identical CSRs.
+func assertSameAdjacency(t *testing.T, a, b Adjacency) {
+	t.Helper()
+	if a.NumVertices() != b.NumVertices() || a.NumEdges() != b.NumEdges() {
+		t.Fatalf("size mismatch: (%d,%d) vs (%d,%d)",
+			a.NumVertices(), a.NumEdges(), b.NumVertices(), b.NumEdges())
+	}
+	for v := 0; v < a.NumVertices(); v++ {
+		id := VID(v)
+		if got, want := a.Out(id), b.Out(id); !equalVIDs(got, want) {
+			t.Fatalf("Out(%d) = %v, want %v", v, got, want)
+		}
+		if got, want := a.In(id), b.In(id); !equalVIDs(got, want) {
+			t.Fatalf("In(%d) = %v, want %v", v, got, want)
+		}
+		if a.OutDegree(id) != b.OutDegree(id) || a.InDegree(id) != b.InDegree(id) {
+			t.Fatalf("degree mismatch at %d", v)
+		}
+	}
+}
+
+func equalVIDs(a, b []VID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestMappedRoundTrip(t *testing.T) {
+	for _, fallback := range []bool{false, true} {
+		name := "mmap"
+		if fallback {
+			name = "fallback"
+		}
+		t.Run(name, func(t *testing.T) {
+			defer func(v bool) { disableMmap = v }(disableMmap)
+			disableMmap = fallback
+
+			g := dupGraph(300, 2000, 1)
+			mg, err := OpenMapped(writeTempMapped(t, g))
+			if err != nil {
+				t.Fatalf("OpenMapped: %v", err)
+			}
+			defer mg.Close()
+
+			if fallback == mg.Mapped() {
+				t.Errorf("Mapped() = %v with fallback=%v", mg.Mapped(), fallback)
+			}
+			if mg.StorageName() != "mapped" {
+				t.Errorf("StorageName() = %q", mg.StorageName())
+			}
+			assertSameAdjacency(t, mg, g)
+			for v := 0; v < g.NumVertices(); v++ {
+				for _, w := range g.Out(VID(v)) {
+					if !mg.HasEdge(VID(v), w) {
+						t.Fatalf("HasEdge(%d,%d) = false for a present edge", v, w)
+					}
+				}
+			}
+			if mg.HasEdge(0, VID(g.NumVertices()-1)) != g.HasEdge(0, VID(g.NumVertices()-1)) {
+				t.Error("HasEdge disagrees on a probe pair")
+			}
+		})
+	}
+}
+
+func TestMappedEmptyAndEdgeless(t *testing.T) {
+	for _, g := range []*Graph{NewBuilder(0).Build(), NewBuilder(5).Build()} {
+		mg, err := OpenMapped(writeTempMapped(t, g))
+		if err != nil {
+			t.Fatalf("OpenMapped(n=%d): %v", g.NumVertices(), err)
+		}
+		assertSameAdjacency(t, mg, g)
+		mg.Close()
+	}
+}
+
+func TestBuildMappedMatchesBuild(t *testing.T) {
+	rng := rand.New(rand.NewPCG(7, 7))
+	edges := make([]Edge, 0, 5000)
+	for i := 0; i < 5000; i++ {
+		edges = append(edges, Edge{U: VID(rng.IntN(400)), V: VID(rng.IntN(400))})
+	}
+	edges = append(edges, edges[:100]...) // duplicates
+
+	mem := NewBuilder(400)
+	mem.AddEdges(edges)
+	g := mem.Build()
+
+	spill := NewBuilder(400)
+	spill.AddEdges(edges)
+	mg, err := spill.BuildMapped(filepath.Join(t.TempDir(), "b.tdbcsr"))
+	if err != nil {
+		t.Fatalf("BuildMapped: %v", err)
+	}
+	defer mg.Close()
+	assertSameAdjacency(t, mg, g)
+}
+
+func TestMappedClose(t *testing.T) {
+	mg, err := OpenMapped(writeTempMapped(t, dupGraph(10, 30, 3)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := mg.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+	if err := mg.Close(); err != nil {
+		t.Fatalf("second Close: %v", err)
+	}
+}
+
+// TestOpenMappedRejectsCorruption feeds targeted corruptions of a valid
+// file through OpenMapped: every one must come back as an error, never a
+// panic and never a silently wrong graph.
+func TestOpenMappedRejectsCorruption(t *testing.T) {
+	g := dupGraph(50, 400, 2)
+	valid, err := os.ReadFile(writeTempMapped(t, g))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Section offsets from the layout, to aim mutations precisely.
+	h := mappedLayout(uint64(g.NumVertices()), uint64(g.NumEdges()))
+
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"empty", func(b []byte) []byte { return nil }},
+		{"truncated-header", func(b []byte) []byte { return b[:40] }},
+		{"truncated-body", func(b []byte) []byte { return b[:len(b)-5] }},
+		{"bad-magic", func(b []byte) []byte { b[0] ^= 0xff; return b }},
+		{"bad-crc", func(b []byte) []byte { b[88] ^= 0x01; return b }}, // reserved word: only the CRC notices
+		{"n-overflow", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[8:], 1<<40)
+			return b
+		}},
+		{"m-mismatch", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[16:], uint64(g.NumEdges()+1))
+			return b
+		}},
+		{"section-out-of-bounds", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[24:], uint64(len(b)))
+			return b
+		}},
+		{"idx-not-monotone", func(b []byte) []byte {
+			binary.LittleEndian.PutUint64(b[h.sections[0].off+8:], 1<<60)
+			return b
+		}},
+		{"adj-vertex-out-of-range", func(b []byte) []byte {
+			binary.LittleEndian.PutUint32(b[h.sections[1].off:], uint32(g.NumVertices()))
+			return b
+		}},
+		{"row-not-ascending", func(b []byte) []byte {
+			// Overwrite a whole out-row with a descending pair.
+			var u VID
+			for v := 0; v < g.NumVertices(); v++ {
+				if g.OutDegree(VID(v)) >= 2 {
+					u = VID(v)
+					break
+				}
+			}
+			off := h.sections[1].off + uint64(4*g.outIdx[u])
+			binary.LittleEndian.PutUint32(b[off:], 9)
+			binary.LittleEndian.PutUint32(b[off+4:], 9)
+			return b
+		}},
+		{"transpose-broken", func(b []byte) []byte {
+			// Swap two inAdj entries from different rows: out stays valid,
+			// the transpose replay must notice.
+			off := h.sections[3].off
+			a := binary.LittleEndian.Uint32(b[off:])
+			z := binary.LittleEndian.Uint32(b[off+uint64(4*(g.NumEdges()-1)):])
+			binary.LittleEndian.PutUint32(b[off:], z)
+			binary.LittleEndian.PutUint32(b[off+uint64(4*(g.NumEdges()-1)):], a)
+			return b
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			mutated := tc.mutate(bytes.Clone(valid))
+			path := filepath.Join(t.TempDir(), "corrupt.tdbcsr")
+			if err := os.WriteFile(path, mutated, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			mg, err := OpenMapped(path)
+			if err == nil {
+				// A mutation may cancel out (e.g. swapping equal values);
+				// then the graph must still be internally consistent.
+				if tc.name == "transpose-broken" || tc.name == "row-not-ascending" {
+					assertSameAdjacency(t, mg, g)
+					mg.Close()
+					t.Skip("mutation was a no-op on this graph")
+				}
+				t.Fatalf("OpenMapped accepted %s corruption", tc.name)
+			}
+		})
+	}
+}
+
+func TestIsMappedFile(t *testing.T) {
+	g := dupGraph(20, 60, 4)
+	mapped := writeTempMapped(t, g)
+	if !IsMappedFile(mapped) {
+		t.Error("IsMappedFile = false on a TDBCSR1 file")
+	}
+	text := filepath.Join(t.TempDir(), "g.txt")
+	if err := SaveFile(text, g); err != nil {
+		t.Fatal(err)
+	}
+	if IsMappedFile(text) {
+		t.Error("IsMappedFile = true on a text edge list")
+	}
+	if IsMappedFile(filepath.Join(t.TempDir(), "missing")) {
+		t.Error("IsMappedFile = true on a missing file")
+	}
+}
+
+func TestOpenStorage(t *testing.T) {
+	g := dupGraph(30, 120, 5)
+
+	mapped := writeTempMapped(t, g)
+	a, closer, err := OpenStorage(mapped)
+	if err != nil {
+		t.Fatalf("OpenStorage(mapped): %v", err)
+	}
+	if StorageName(a) != "mapped" {
+		t.Errorf("mapped file opened as %q backend", StorageName(a))
+	}
+	assertSameAdjacency(t, a, g)
+	if err := closer(); err != nil {
+		t.Errorf("mapped closer: %v", err)
+	}
+
+	text := filepath.Join(t.TempDir(), "g.txt")
+	if err := SaveFile(text, g); err != nil {
+		t.Fatal(err)
+	}
+	a, closer, err = OpenStorage(text)
+	if err != nil {
+		t.Fatalf("OpenStorage(text): %v", err)
+	}
+	if StorageName(a) != "memory" {
+		t.Errorf("text file opened as %q backend", StorageName(a))
+	}
+	assertSameAdjacency(t, a, g)
+	if err := closer(); err != nil {
+		t.Errorf("memory closer: %v", err)
+	}
+}
+
+// FuzzMappedGraph is the crash-safety contract for the on-disk format:
+// OpenMapped over arbitrary bytes either succeeds with an internally
+// consistent graph or returns an error — it must never panic.
+func FuzzMappedGraph(f *testing.F) {
+	valid, err := os.ReadFile(writeTempMappedFuzz(f, dupGraph(12, 40, 6)))
+	if err != nil {
+		f.Fatal(err)
+	}
+	f.Add(valid)
+	f.Add(valid[:len(valid)/2])
+	f.Add(valid[:mappedHdrSize])
+	f.Add([]byte{})
+	f.Add([]byte("TDBCSR1\x00garbage"))
+	long := bytes.Clone(valid)
+	long[9] = 0xff // huge n against a short file
+	f.Add(long)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		path := filepath.Join(t.TempDir(), "fuzz.tdbcsr")
+		if err := os.WriteFile(path, data, 0o644); err != nil {
+			t.Skip()
+		}
+		mg, err := OpenMapped(path)
+		if err != nil {
+			return
+		}
+		// Accepted: every access in the contract must be in-bounds.
+		defer mg.Close()
+		for v := 0; v < mg.NumVertices(); v++ {
+			id := VID(v)
+			_, _ = mg.Out(id), mg.In(id)
+			_, _ = mg.OutDegree(id), mg.InDegree(id)
+		}
+		if mg.NumVertices() > 0 {
+			mg.HasEdge(0, VID(mg.NumVertices()-1))
+		}
+	})
+}
+
+func writeTempMappedFuzz(f *testing.F, g Adjacency) string {
+	f.Helper()
+	path := filepath.Join(f.TempDir(), "g.tdbcsr")
+	if err := WriteMapped(path, g); err != nil {
+		f.Fatalf("WriteMapped: %v", err)
+	}
+	return path
+}
+
+// BenchmarkHasEdge measures the binary-search membership probe on both
+// backends; rows are sorted so slices.BinarySearch is the whole cost.
+func BenchmarkHasEdge(b *testing.B) {
+	g := dupGraph(10_000, 200_000, 8)
+	path := filepath.Join(b.TempDir(), "g.tdbcsr")
+	if err := WriteMapped(path, g); err != nil {
+		b.Fatal(err)
+	}
+	mg, err := OpenMapped(path)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer mg.Close()
+
+	rng := rand.New(rand.NewPCG(9, 9))
+	probes := make([][2]VID, 1024)
+	for i := range probes {
+		probes[i] = [2]VID{VID(rng.IntN(10_000)), VID(rng.IntN(10_000))}
+	}
+
+	b.Run("memory", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := probes[i&1023]
+			g.HasEdge(p[0], p[1])
+		}
+	})
+	b.Run("mapped", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			p := probes[i&1023]
+			mg.HasEdge(p[0], p[1])
+		}
+	})
+}

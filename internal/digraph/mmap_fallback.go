@@ -1,0 +1,18 @@
+//go:build !linux && !darwin
+
+package digraph
+
+import (
+	"errors"
+	"os"
+)
+
+// errNoMmap makes OpenMapped fall through to the portable read-at path on
+// platforms without a wired-up memory-mapping syscall.
+var errNoMmap = errors.New("digraph: mmap not supported on this platform")
+
+func mmapFile(f *os.File, size int64) ([]byte, error) {
+	return nil, errNoMmap
+}
+
+func munmapFile(data []byte) error { return nil }

@@ -80,7 +80,7 @@ func TestDenseCoreDeepK(t *testing.T) {
 		t.Fatalf("cover invalid on dense core, witness %v", w)
 	}
 	m.Reminimize()
-	snap := m.Snapshot()
+	snap := digraph.Materialize(m.Snapshot())
 	if ok, w := verify.IsValid(snap, k, 3, m.Cover()); !ok {
 		t.Fatalf("cover invalid after reminimize, witness %v", w)
 	}
@@ -116,7 +116,7 @@ func TestApplyBatchMatchesSequential(t *testing.T) {
 			}
 		}
 		bat.ApplyBatch(updates)
-		gs, gb := seq.Snapshot(), bat.Snapshot()
+		gs, gb := digraph.Materialize(seq.Snapshot()), digraph.Materialize(bat.Snapshot())
 		if gs.NumEdges() != gb.NumEdges() || gs.String() != gb.String() {
 			t.Fatalf("iter %d: graphs diverge: %v vs %v", iter, gs, gb)
 		}
@@ -182,7 +182,7 @@ func TestDeltaTombstoneRoundTrip(t *testing.T) {
 	if !m.HasEdge(1, 2) || m.NumEdges() != 4 {
 		t.Fatal("tombstone cancel failed")
 	}
-	snap := m.Snapshot()
+	snap := digraph.Materialize(m.Snapshot())
 	if snap.NumEdges() != 4 || !snap.HasEdge(1, 2) {
 		t.Fatalf("compaction lost edges: %v", snap)
 	}
@@ -257,7 +257,7 @@ func TestBatchChurnPropertyStream(t *testing.T) {
 			}
 			if batch%4 == 3 {
 				m.Reminimize()
-				snap := m.Snapshot()
+				snap := digraph.Materialize(m.Snapshot())
 				if ok, w := verify.IsValid(snap, k, 3, m.Cover()); !ok {
 					t.Fatalf("iter %d batch %d: invalid after reminimize, witness %v", iter, batch, w)
 				}
@@ -267,7 +267,7 @@ func TestBatchChurnPropertyStream(t *testing.T) {
 			}
 		}
 		// Cross-check against the static solver on the final snapshot.
-		snap := m.Snapshot()
+		snap := digraph.Materialize(m.Snapshot())
 		res2, err := core.Compute(snap, core.TDBPlusPlus, core.Options{K: k})
 		if err != nil {
 			t.Fatal(err)
@@ -307,7 +307,7 @@ func TestDirtyRegionReminimize(t *testing.T) {
 			m.InsertEdge(VID(rng.IntN(400)), VID(rng.IntN(400)))
 		}
 		m.Reminimize()
-		snap := m.Snapshot()
+		snap := digraph.Materialize(m.Snapshot())
 		if ok, w := verify.IsValid(snap, 5, 3, m.Cover()); !ok {
 			t.Fatalf("round %d: invalid after dirty reminimize, witness %v", round, w)
 		}

@@ -70,7 +70,7 @@ type Maintainer struct {
 	// is (base.Out(u) minus delOut[u]) union addOut[u]; the three sources
 	// are individually sorted, so membership is a pair of binary searches
 	// and traversal is a two-pointer merge.
-	base   *digraph.Graph
+	base   digraph.Adjacency
 	n      int     // current vertex count, >= base.NumVertices()
 	addOut [][]VID // edges inserted since compaction, absent from base
 	addIn  [][]VID
@@ -141,7 +141,7 @@ func New(n, k, minLen int) *Maintainer {
 // is validated against the vertex range — a cover naming vertices the
 // graph does not have cannot have come from it, and is reported as an
 // error rather than a later index panic.
-func FromGraph(g *digraph.Graph, k, minLen int, cover []VID) (*Maintainer, error) {
+func FromGraph(g digraph.Adjacency, k, minLen int, cover []VID) (*Maintainer, error) {
 	n := g.NumVertices()
 	for _, v := range cover {
 		if int(v) >= n {
@@ -217,7 +217,7 @@ func (m *Maintainer) HasEdge(u, v VID) bool {
 // inBase reports whether the edge exists in the compacted base (live or
 // tombstoned).
 func (m *Maintainer) inBase(u, v VID) bool {
-	return int(u) < m.base.NumVertices() && m.base.HasEdge(u, v)
+	return int(u) < m.base.NumVertices() && digraph.HasArc(m.base, u, v)
 }
 
 // InsertEdge adds the edge (u, v), updating the cover if the insertion
@@ -352,7 +352,7 @@ func (m *Maintainer) maybeCompact() {
 // buffers and clears the deltas. With empty deltas (and no Grow since) it
 // returns the base as-is, which is what makes Snapshot cheap on a quiet
 // maintainer.
-func (m *Maintainer) compact() *digraph.Graph {
+func (m *Maintainer) compact() digraph.Adjacency {
 	if m.delta == 0 && m.base.NumVertices() == m.n {
 		return m.base
 	}
@@ -426,7 +426,7 @@ func (m *Maintainer) Reminimize() int {
 // the whole cover on a full pass, otherwise the cover vertices within k
 // hops (forward or backward) of a dirty site. When the dirty set rivals
 // the graph the region BFS cannot pay for itself, so the pass goes full.
-func (m *Maintainer) reminimizeCandidates(g *digraph.Graph) []VID {
+func (m *Maintainer) reminimizeCandidates(g digraph.Adjacency) []VID {
 	n := g.NumVertices()
 	out := make([]VID, 0, m.cover)
 	if m.needFull || len(m.dirty)*4 >= n {
@@ -453,7 +453,7 @@ func (m *Maintainer) reminimizeCandidates(g *digraph.Graph) []VID {
 // vertex is reachable from some dirty site along it within k-1 hops; the
 // backward pass is kept for symmetry (it is cheap and strictly widens the
 // candidate set, which is always sound).
-func (m *Maintainer) markReachable(g *digraph.Graph, reach []bool) {
+func (m *Maintainer) markReachable(g digraph.Adjacency, reach []bool) {
 	m.ensureScratch()
 	for pass := 0; pass < 2; pass++ {
 		mk := m.nextMark()
@@ -509,7 +509,7 @@ func (m *Maintainer) remScratchFor(n int) *cycle.Scratch {
 // compacting the deltas; with no changes since the last compaction it is
 // free. The returned graph is shared with the maintainer but immutable:
 // later updates accumulate in fresh deltas and never mutate it.
-func (m *Maintainer) Snapshot() *digraph.Graph {
+func (m *Maintainer) Snapshot() digraph.Adjacency {
 	return m.compact()
 }
 

@@ -30,7 +30,7 @@ import (
 // accessors are read-only.
 type Epoch struct {
 	id      uint64
-	graph   *digraph.Graph
+	graph   digraph.Adjacency
 	cover   []VID
 	payload any
 	refs    atomic.Int64
@@ -41,7 +41,7 @@ type Epoch struct {
 func (e *Epoch) ID() uint64 { return e.id }
 
 // Graph returns the epoch's immutable compacted graph.
-func (e *Epoch) Graph() *digraph.Graph { return e.graph }
+func (e *Epoch) Graph() digraph.Adjacency { return e.graph }
 
 // Cover returns the epoch's cover. The slice is shared — callers must not
 // modify it.
@@ -112,7 +112,7 @@ func NewEpochRing() *EpochRing { return &EpochRing{} }
 // while current — and the previous epoch loses that reference, so it is
 // reclaimed as soon as its last reader releases it (immediately, when it
 // has none). The caller must not modify g or cover afterwards.
-func (r *EpochRing) Publish(g *digraph.Graph, cover []VID, payload any) *Epoch {
+func (r *EpochRing) Publish(g digraph.Adjacency, cover []VID, payload any) *Epoch {
 	e := &Epoch{id: r.nextID.Add(1), graph: g, cover: cover, payload: payload, ring: r}
 	e.refs.Store(1) // the ring's own pin while the epoch is current
 	r.live.Add(1)
@@ -159,7 +159,7 @@ func (r *EpochRing) Reclaimed() int64 { return r.reclaimed.Load() }
 // publishes them as a new epoch on ring. payload, when non-nil, builds the
 // epoch's payload from the snapshot (e.g. a core.Engine over the compacted
 // graph). Must be called from the maintainer's single writer.
-func (m *Maintainer) PublishSnapshot(ring *EpochRing, payload func(g *digraph.Graph, cover []VID) any) *Epoch {
+func (m *Maintainer) PublishSnapshot(ring *EpochRing, payload func(g digraph.Adjacency, cover []VID) any) *Epoch {
 	g := m.Snapshot()
 	cover := m.Cover()
 	var p any

@@ -149,7 +149,7 @@ func TestEpochAcquireReclaimRace(t *testing.T) {
 }
 
 // edgeFingerprint summarizes a graph's exact edge set, order-sensitively.
-func edgeFingerprint(g *digraph.Graph) uint64 {
+func edgeFingerprint(g digraph.Adjacency) uint64 {
 	var h uint64 = 1469598103934665603
 	for v := 0; v < g.NumVertices(); v++ {
 		for _, w := range g.Out(VID(v)) {

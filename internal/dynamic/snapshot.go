@@ -194,7 +194,7 @@ func (m *Maintainer) Fingerprint() uint64 {
 // FNV-1a 64 over k, minLen, n, the edge list in CSR order, and the cover
 // ascending. The graph's CSR order is canonical (sorted adjacency), so equal
 // logical states hash equal regardless of insertion order.
-func StateFingerprint(g *digraph.Graph, cover []digraph.VID, k, minLen int) uint64 {
+func StateFingerprint(g digraph.Adjacency, cover []digraph.VID, k, minLen int) uint64 {
 	h := fnv.New64a()
 	var b8 [8]byte
 	w32 := func(v uint32) {

@@ -48,9 +48,12 @@ type Options struct {
 }
 
 // Compute profiles g.
-func Compute(g *digraph.Graph, opts Options) *Profile {
+func Compute(g digraph.Adjacency, opts Options) *Profile {
 	n := g.NumVertices()
-	p := &Profile{N: n, M: g.NumEdges(), AvgOutDegree: g.AvgDegree()}
+	p := &Profile{N: n, M: g.NumEdges()}
+	if n > 0 {
+		p.AvgOutDegree = float64(p.M) / float64(n)
+	}
 
 	total := make([]int, n)
 	recip := 0
@@ -66,7 +69,7 @@ func Compute(g *digraph.Graph, opts Options) *Profile {
 		for _, w := range g.Out(digraph.VID(v)) {
 			if w == digraph.VID(v) {
 				p.SelfLoops++
-			} else if g.HasEdge(w, digraph.VID(v)) {
+			} else if digraph.HasArc(g, w, digraph.VID(v)) {
 				recip++
 			}
 		}
@@ -159,7 +162,7 @@ type Locality struct {
 }
 
 // ComputeLocality measures the numbering locality of g's current layout.
-func ComputeLocality(g *digraph.Graph) Locality {
+func ComputeLocality(g digraph.Adjacency) Locality {
 	var l Locality
 	m := g.NumEdges()
 	if m == 0 {

@@ -45,14 +45,14 @@ func (r *Result) CycleCandidates() []bool {
 }
 
 // Compute runs Tarjan's algorithm over the whole graph.
-func Compute(g *digraph.Graph) *Result {
+func Compute(g digraph.Adjacency) *Result {
 	return ComputeMasked(g, nil)
 }
 
 // ComputeMasked runs Tarjan's algorithm over the subgraph induced by the
 // active vertices. A nil mask means all vertices are active. Inactive
 // vertices receive component -1.
-func ComputeMasked(g *digraph.Graph, active []bool) *Result {
+func ComputeMasked(g digraph.Adjacency, active []bool) *Result {
 	n := g.NumVertices()
 	const unvisited = -1
 	index := make([]int32, n)

@@ -7,6 +7,7 @@ import (
 	"math/rand/v2"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"sync"
@@ -15,6 +16,7 @@ import (
 	"time"
 
 	"tdb/internal/core"
+	"tdb/internal/digraph"
 	"tdb/internal/dynamic"
 	"tdb/internal/fault"
 	"tdb/internal/gen"
@@ -34,6 +36,15 @@ import (
 //   - the process never dies, and shutdown drains cleanly;
 //   - no goroutines leak.
 func TestChaosSoak(t *testing.T) {
+	// The soak runs once per storage backend: the mapped variant serves the
+	// seed epoch's CSR out of a read-only memory mapping, so the whole
+	// reader stack (and the writer's delta compaction) runs against a
+	// non-Graph Adjacency.
+	t.Run("memory", func(t *testing.T) { chaosSoak(t, false) })
+	t.Run("mapped", func(t *testing.T) { chaosSoak(t, true) })
+}
+
+func chaosSoak(t *testing.T, mapped bool) {
 	const (
 		nVerts  = 250
 		k       = 6
@@ -43,14 +54,27 @@ func TestChaosSoak(t *testing.T) {
 		batches = 150 // per writer
 	)
 	g := gen.ErdosRenyi(nVerts, 4*nVerts, 77)
-	res, err := core.Compute(g, core.TDBPlusPlus, core.Options{K: k})
+	var seed digraph.Adjacency = g
+	if mapped {
+		path := filepath.Join(t.TempDir(), "seed.tdbcsr")
+		if err := digraph.WriteMapped(path, g); err != nil {
+			t.Fatal(err)
+		}
+		mg, err := digraph.OpenMapped(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { mg.Close() })
+		seed = mg
+	}
+	res, err := core.Compute(seed, core.TDBPlusPlus, core.Options{K: k})
 	if err != nil {
 		t.Fatal(err)
 	}
 
 	baseline := runtime.NumGoroutine()
 	s, err := New(Config{
-		K: k, Seed: g, SeedCover: res.Cover,
+		K: k, Seed: seed, SeedCover: res.Cover,
 		MaxConcurrent:   readers - 2, // fewer tokens than readers: shedding under full load
 		WriteQueue:      16,          // some write shedding under bursts
 		PublishEvery:    120,

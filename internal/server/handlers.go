@@ -332,8 +332,14 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	}
 	eng := e.Payload().(*core.Engine)
 	start := time.Now()
-	res, err := eng.Compute(ctx, algo, core.Options{
-		K: k, MinLen: minLen, PartialOnDeadline: partial,
+	// Workers: 1 keeps execution on the sequential path Compute used to
+	// take, but through the planning layer so Stats carries the full
+	// execution profile (strategy, filter tier, storage) for the per-solve
+	// metrics series.
+	res, err := eng.Solve(ctx, core.SolveSpec{
+		Algorithm: algo,
+		Opts:      core.Options{K: k, MinLen: minLen, PartialOnDeadline: partial},
+		Workers:   1,
 	})
 	if err != nil {
 		var pe *core.PanicError
@@ -356,6 +362,7 @@ func (s *Server) handleSolve(w http.ResponseWriter, r *http.Request) {
 	if res.Stats.Degraded {
 		s.degradedCount.Add(1)
 	}
+	s.solves.observe(&res.Stats)
 	writeJSON(w, http.StatusOK, SolveResponse{
 		Epoch:      e.ID(),
 		N:          g.NumVertices(),

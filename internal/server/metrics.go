@@ -3,8 +3,70 @@ package server
 import (
 	"fmt"
 	"net/http"
+	"sort"
+	"strconv"
 	"strings"
+	"sync"
+
+	"tdb/internal/core"
 )
+
+// solveLabels is one per-solve execution profile: the dimensions a
+// dashboard slices solve traffic by. All values come out of core.Stats, so
+// the cardinality is tiny and bounded (a handful of strategies × two
+// filter tiers × three batch widths × the storage backends in use).
+type solveLabels struct {
+	strategy   string // execution strategy the planner selected
+	filterTier string // "batched" (bit-parallel sweeps ran) or "scalar"
+	batchWidth int    // lane-group capacity of the batched filter (0 scalar)
+	storage    string // adjacency backend ("memory", "mapped", ...)
+}
+
+// solveSeries accumulates per-profile solve counts. A mutex-guarded map
+// beats per-label atomics here: the observation is one map increment per
+// completed solve, far off any hot path, and the label set is dynamic.
+type solveSeries struct {
+	mu     sync.Mutex
+	counts map[solveLabels]int64
+}
+
+// observe records one completed solve's execution profile.
+func (ss *solveSeries) observe(st *core.Stats) {
+	l := solveLabels{
+		strategy:   st.Strategy,
+		filterTier: "scalar",
+		batchWidth: st.FilterBatchWidth,
+		storage:    st.Storage,
+	}
+	if st.FilterBatchWidth > 0 {
+		l.filterTier = "batched"
+	}
+	ss.mu.Lock()
+	if ss.counts == nil {
+		ss.counts = make(map[solveLabels]int64)
+	}
+	ss.counts[l]++
+	ss.mu.Unlock()
+}
+
+// write emits the series in the text exposition format, label sets sorted
+// so consecutive scrapes are byte-stable.
+func (ss *solveSeries) write(b *strings.Builder) {
+	const name = "tdbserve_solves_total"
+	fmt.Fprintf(b, "# HELP %s Completed solves by strategy, filter tier, batch width and storage backend.\n# TYPE %s counter\n", name, name)
+	ss.mu.Lock()
+	lines := make([]string, 0, len(ss.counts))
+	for l, v := range ss.counts {
+		lines = append(lines, fmt.Sprintf("%s{strategy=%q,filter_tier=%q,batch_width=%q,storage=%q} %d",
+			name, l.strategy, l.filterTier, strconv.Itoa(l.batchWidth), l.storage, v))
+	}
+	ss.mu.Unlock()
+	sort.Strings(lines)
+	for _, ln := range lines {
+		b.WriteString(ln)
+		b.WriteByte('\n')
+	}
+}
 
 // GET /metrics: the server's counters in the Prometheus text exposition
 // format (version 0.0.4), hand-rolled — the format is a few lines of
@@ -42,6 +104,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	counter("tdbserve_writer_panics_total", "Writer batches that panicked.", s.writerPanics.Load())
 	counter("tdbserve_writer_restores_total", "Maintainer rebuilds after writer panics.", s.writerRestores.Load())
 	gauge("tdbserve_draining", "1 while shutdown is draining requests.", b01(draining))
+	s.solves.write(&b)
 	gauge("tdbserve_wal_enabled", "1 when writes are durable (a data dir is configured).", b01(s.wal != nil))
 	if s.wal != nil {
 		counter("tdbserve_wal_appends_total", "Write batches appended to the WAL.", s.wal.Appends())

@@ -60,7 +60,7 @@ type Config struct {
 	MinLen int
 	// Seed, when non-nil, is the initial graph; SeedCover must then be a
 	// valid cover of it (e.g. from core.Compute).
-	Seed      *digraph.Graph
+	Seed      digraph.Adjacency
 	SeedCover []VID
 
 	// DefaultDeadline bounds requests that do not ask for a deadline
@@ -207,6 +207,10 @@ type Server struct {
 	walCheckpoints     atomic.Int64 // checkpoints written since start
 	walCheckpointFails atomic.Int64 // checkpoints that failed (server kept serving)
 	walCheckpointNS    atomic.Int64 // duration of the last successful checkpoint
+
+	// solves counts completed /v1/solve requests by execution profile
+	// (strategy, filter tier, batch width, storage backend).
+	solves solveSeries
 }
 
 // New validates cfg, seeds or recovers the maintainer (recovery when
@@ -257,7 +261,7 @@ func (s *Server) Handler() http.Handler { return s.mux }
 // publish snapshots the maintainer into a new epoch whose payload is a
 // pooled solver engine over the snapshot. Writer goroutine only.
 func (s *Server) publish() {
-	s.m.PublishSnapshot(s.ring, func(g *digraph.Graph, _ []VID) any {
+	s.m.PublishSnapshot(s.ring, func(g digraph.Adjacency, _ []VID) any {
 		return core.NewEngine(g)
 	})
 	s.sincePublish = 0

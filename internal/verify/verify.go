@@ -46,7 +46,7 @@ func activeWithout(n int, cover []VID) []bool {
 // IsValid reports whether cover intersects every cycle of length in
 // [minLen, k]: the graph minus the cover must contain no such cycle.
 // It returns a surviving cycle as a witness when the cover is invalid.
-func IsValid(g *digraph.Graph, k, minLen int, cover []VID) (bool, []VID) {
+func IsValid(g digraph.Adjacency, k, minLen int, cover []VID) (bool, []VID) {
 	active := activeWithout(g.NumVertices(), cover)
 	det := cycle.NewBlockDetector(g, k, minLen, active)
 	filter := cycle.NewBFSFilter(g, k, active)
@@ -68,7 +68,7 @@ func IsValid(g *digraph.Graph, k, minLen int, cover []VID) (bool, []VID) {
 // owns its detector state; the shared active mask is read-only. workers <= 0
 // selects GOMAXPROCS. Note the witness from a parallel run is whichever
 // surviving cycle a worker found first.
-func IsValidParallel(g *digraph.Graph, k, minLen int, cover []VID, workers int) (bool, []VID) {
+func IsValidParallel(g digraph.Adjacency, k, minLen int, cover []VID, workers int) (bool, []VID) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -138,7 +138,7 @@ func IsValidParallel(g *digraph.Graph, k, minLen int, cover []VID, workers int) 
 // single cover vertex into the reduced graph must expose a constrained
 // cycle through it. It returns the redundant vertices otherwise. The cover
 // is assumed valid.
-func IsMinimal(g *digraph.Graph, k, minLen int, cover []VID) (bool, []VID) {
+func IsMinimal(g digraph.Adjacency, k, minLen int, cover []VID) (bool, []VID) {
 	active := activeWithout(g.NumVertices(), cover)
 	det := cycle.NewBlockDetector(g, k, minLen, active)
 	var redundant []VID
@@ -153,7 +153,7 @@ func IsMinimal(g *digraph.Graph, k, minLen int, cover []VID) (bool, []VID) {
 }
 
 // Check runs both validity and (optionally) minimality.
-func Check(g *digraph.Graph, k, minLen int, cover []VID, wantMinimal bool) Report {
+func Check(g digraph.Adjacency, k, minLen int, cover []VID, wantMinimal bool) Report {
 	rep := Report{}
 	rep.Valid, rep.Witness = IsValid(g, k, minLen, cover)
 	if !rep.Valid {
@@ -171,7 +171,7 @@ func Check(g *digraph.Graph, k, minLen int, cover []VID, wantMinimal bool) Repor
 // search over the vertices that appear on at least one constrained cycle.
 // It is exponential and intended for graphs with at most ~20 on-cycle
 // vertices (the test oracle for optimality-gap measurements).
-func BruteForceOptimal(g *digraph.Graph, k, minLen int) []VID {
+func BruteForceOptimal(g digraph.Adjacency, k, minLen int) []VID {
 	cycles := cycle.NewEnumerator(g, k, minLen, nil).All()
 	if len(cycles) == 0 {
 		return nil

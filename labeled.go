@@ -3,6 +3,8 @@ package tdb
 import (
 	"context"
 	"fmt"
+
+	"tdb/internal/digraph"
 )
 
 // This file is the labeled layer: real-world graphs address vertices by
@@ -363,7 +365,7 @@ func (lm *LabeledMaintainer[K]) Snapshot() *LabeledGraph[K] {
 		index[label] = v
 	}
 	return &LabeledGraph[K]{
-		g:      lm.m.Snapshot(),
+		g:      digraph.Materialize(lm.m.Snapshot()),
 		index:  index,
 		labels: append([]K(nil), lm.labels...),
 	}

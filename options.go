@@ -30,6 +30,7 @@ type solveConfig struct {
 	unconstrained bool
 	prepassSet    bool
 	renumber      Renumbering
+	storage       Storage
 }
 
 // newSolveConfig applies opts over the defaults.
@@ -155,6 +156,21 @@ func WithStrategy(s Strategy) Option {
 // repeated engine solves pay the permutation cost once.
 func WithRenumbering(mode Renumbering) Option {
 	return func(c *solveConfig) { c.renumber = mode }
+}
+
+// WithStorage runs the solve over s instead of the Graph argument, which
+// may then be nil — the entry point for non-default storage backends:
+//
+//	mg, err := tdb.OpenMapped("web-Google.tdbcsr")
+//	res, err := tdb.Solve(ctx, nil, 5, tdb.WithStorage(mg))
+//
+// Every algorithm, strategy and option works unchanged over any backend
+// except WithRenumbering, which rebuilds the CSR in permuted order and
+// therefore requires the in-memory *Graph backend (passing a *Graph to
+// WithStorage is fine). For repeated solves over one backend use
+// NewStorageEngine, which additionally pools working state.
+func WithStorage(s Storage) Option {
+	return func(c *solveConfig) { c.storage = s }
 }
 
 // WithEdgeCover switches Solve to the EDGE-transversal problem (the paper's

@@ -25,23 +25,52 @@ import (
 // working state and caches the planning inspection.
 func Solve(ctx context.Context, g *Graph, k int, opts ...Option) (*Result, error) {
 	cfg := newSolveConfig(opts)
-	if err := prepareSolve(&cfg, g, k, ctx); err != nil {
+	a, err := resolveStorage(&cfg, g)
+	if err != nil {
+		return nil, err
+	}
+	if err := prepareSolve(&cfg, a, k, ctx); err != nil {
 		return nil, err
 	}
 	if cfg.edgeCover {
-		return solveEdges(g, cfg)
+		return solveEdges(a, cfg)
 	}
 	if cfg.renumber != RenumberNone {
-		perm := digraph.RenumberPerm(g, cfg.renumber)
-		applyRenumbering(g, perm, &cfg)
-		r, err := core.Solve(g.Renumber(perm), cfg.spec())
+		cg, ok := a.(*digraph.Graph)
+		if !ok {
+			return nil, errRenumberStorage(a)
+		}
+		perm := digraph.RenumberPerm(cg, cfg.renumber)
+		applyRenumbering(cg, perm, &cfg)
+		r, err := core.Solve(cg.Renumber(perm), cfg.spec())
 		if err != nil {
 			return nil, err
 		}
 		mapCoverBack(r, digraph.InversePerm(perm), cfg.renumber)
 		return r, nil
 	}
-	return core.Solve(g, cfg.spec())
+	return core.Solve(a, cfg.spec())
+}
+
+// resolveStorage picks the backend a solve runs over: WithStorage when
+// given, the Graph argument otherwise. A typed-nil *Graph without
+// WithStorage is rejected here rather than panicking deep in a traversal.
+func resolveStorage(cfg *solveConfig, g *Graph) (Storage, error) {
+	if cfg.storage != nil {
+		return cfg.storage, nil
+	}
+	if g == nil {
+		return nil, fmt.Errorf("tdb: nil graph (pass a graph or WithStorage)")
+	}
+	return g, nil
+}
+
+// errRenumberStorage explains the one backend restriction in the solve
+// path: renumbering rebuilds the CSR in permuted order, which only the
+// in-memory backend supports.
+func errRenumberStorage(a Storage) error {
+	return fmt.Errorf("tdb: WithRenumbering requires the in-memory graph backend, not %q storage",
+		digraph.StorageName(a))
 }
 
 // applyRenumbering rewrites cfg for a solve over g renumbered by perm:
@@ -78,7 +107,7 @@ func mapCoverBack(r *Result, inv []VID, mode Renumbering) {
 
 // prepareSolve resolves the request-level knobs (hop bound, context) and
 // rejects contradictory option combinations.
-func prepareSolve(cfg *solveConfig, g *Graph, k int, ctx context.Context) error {
+func prepareSolve(cfg *solveConfig, g Storage, k int, ctx context.Context) error {
 	cfg.core.K = k
 	if cfg.unconstrained {
 		cfg.core.K = cycle.Unconstrained(g)
@@ -107,7 +136,7 @@ func prepareSolve(cfg *solveConfig, g *Graph, k int, ctx context.Context) error 
 
 // solveEdges runs the edge-transversal variant and folds its outcome into
 // the unified Result shape.
-func solveEdges(g *Graph, cfg solveConfig) (*Result, error) {
+func solveEdges(g Storage, cfg solveConfig) (*Result, error) {
 	er, err := core.TopDownEdges(g, cfg.core)
 	if err != nil {
 		return nil, err
@@ -125,6 +154,11 @@ func solveEdges(g *Graph, cfg solveConfig) (*Result, error) {
 // supersedes a context carried in converted legacy options.
 func (e *Engine) Solve(ctx context.Context, k int, opts ...Option) (*Result, error) {
 	cfg := newSolveConfig(opts)
+	if cfg.storage != nil && cfg.storage != e.Graph() {
+		// The engine's pooled state is sized to ITS backend; silently solving
+		// another graph with it would be wrong in both directions.
+		return nil, fmt.Errorf("tdb: WithStorage on an engine must name the engine's own backend (use NewStorageEngine)")
+	}
 	if err := prepareSolve(&cfg, e.Graph(), k, ctx); err != nil {
 		return nil, err
 	}
@@ -135,7 +169,10 @@ func (e *Engine) Solve(ctx context.Context, k int, opts ...Option) (*Result, err
 	}
 	if cfg.renumber != RenumberNone {
 		re := e.renumbered(cfg.renumber)
-		applyRenumbering(e.Graph(), re.perm, &cfg)
+		if re == nil {
+			return nil, errRenumberStorage(e.Graph())
+		}
+		applyRenumbering(e.Graph().(*digraph.Graph), re.perm, &cfg)
 		r, err := re.e.Solve(nil, cfg.spec())
 		if err != nil {
 			return nil, err

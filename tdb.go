@@ -88,6 +88,44 @@ type Edge = digraph.Edge
 // Graph is an immutable directed graph in compressed-sparse-row form.
 type Graph = digraph.Graph
 
+// Storage is the read-side adjacency contract every algorithm in this
+// package consumes: any backend exposing per-vertex neighbor slices.
+// *Graph (the in-memory CSR) and *MappedGraph (the mmap-backed segmented
+// CSR for graphs larger than RAM) both satisfy it; Solve, Verify and the
+// query helpers accept any Storage, and WithStorage / NewStorageEngine
+// plug a non-default backend into the solve path.
+type Storage = digraph.Adjacency
+
+// MappedGraph is the mmap-backed storage backend: an immutable CSR served
+// zero-copy out of a memory mapping of a TDBCSR1 file, so read-mostly
+// graphs bigger than RAM can be solved with the OS paging adjacency in on
+// demand. Build one with Builder.BuildMapped or SaveMapped, open it with
+// OpenMapped, and Close it when every consumer is done.
+type MappedGraph = digraph.MappedGraph
+
+// OpenMapped opens a TDBCSR1 file as a MappedGraph, fully validating the
+// header and arrays first (corrupted files yield an error, never a later
+// panic).
+func OpenMapped(path string) (*MappedGraph, error) { return digraph.OpenMapped(path) }
+
+// SaveMapped writes any storage backend as a TDBCSR1 file ready for
+// OpenMapped.
+func SaveMapped(path string, g Storage) error { return digraph.WriteMapped(path, g) }
+
+// OpenStorage opens path with the backend chosen by content: TDBCSR1
+// files map zero-copy, anything else loads in memory (text edge lists,
+// optionally gzipped, or the binary format). The returned closer releases
+// mapped resources; it is a no-op for in-memory graphs.
+func OpenStorage(path string) (Storage, func() error, error) { return digraph.OpenStorage(path) }
+
+// IsMappedFile sniffs whether path begins with the TDBCSR1 magic, i.e.
+// whether OpenMapped can serve it.
+func IsMappedFile(path string) bool { return digraph.IsMappedFile(path) }
+
+// Materialize copies any storage backend into the in-memory CSR. If s is
+// already an in-memory Graph it is returned as-is.
+func Materialize(s Storage) *Graph { return digraph.Materialize(s) }
+
 // Builder accumulates edges for a Graph. Self-loops are dropped and
 // duplicate edges merged by default.
 type Builder = digraph.Builder
@@ -250,14 +288,19 @@ func RenumberPerm(g *Graph, mode Renumbering) []VID {
 func InversePerm(perm []VID) []VID { return digraph.InversePerm(perm) }
 
 // renumbered returns the cached renumbered twin for mode, building it on
-// first use.
+// first use. It returns nil when the engine's storage backend is not the
+// in-memory CSR: renumbering rebuilds the CSR in permuted order, which
+// only that backend supports (a mapped file is immutable on disk).
 func (e *Engine) renumbered(mode Renumbering) *renumberedEngine {
 	e.renMu.Lock()
 	defer e.renMu.Unlock()
 	if re, ok := e.ren[mode]; ok {
 		return re
 	}
-	g := e.e.Graph()
+	g, ok := e.e.Graph().(*digraph.Graph)
+	if !ok {
+		return nil
+	}
 	perm := digraph.RenumberPerm(g, mode)
 	re := &renumberedEngine{
 		e:    core.NewEngine(g.Renumber(perm)),
@@ -276,8 +319,16 @@ func NewEngine(g *Graph) *Engine {
 	return &Engine{e: core.NewEngine(g)}
 }
 
-// Graph returns the graph the engine computes over.
-func (e *Engine) Graph() *Graph { return e.e.Graph() }
+// NewStorageEngine creates a reusable compute engine over any storage
+// backend — e.g. a MappedGraph serving a graph bigger than RAM. Every
+// Engine method except WithRenumbering-based solves (which need the
+// in-memory CSR) behaves identically across backends.
+func NewStorageEngine(s Storage) *Engine {
+	return &Engine{e: core.NewEngine(s)}
+}
+
+// Graph returns the storage backend the engine computes over.
+func (e *Engine) Graph() Storage { return e.e.Graph() }
 
 // Cover is the engine counterpart of the package-level Cover (TDB++ with
 // defaults). ctx bounds the run and supersedes opts.Context when non-nil.
@@ -330,15 +381,16 @@ func CoverAllCycles(g *Graph, opts *Options) (*Result, error) {
 type Report = verify.Report
 
 // Verify checks that cover intersects every cycle of length in [minLen, k]
-// and, when wantMinimal is set, that no cover vertex is redundant.
-func Verify(g *Graph, k, minLen int, cover []VID, wantMinimal bool) Report {
+// and, when wantMinimal is set, that no cover vertex is redundant. It
+// accepts any storage backend.
+func Verify(g Storage, k, minLen int, cover []VID, wantMinimal bool) Report {
 	return verify.Check(g, k, minLen, cover, wantMinimal)
 }
 
 // FindCycle returns one cycle of length in [3, k] through vertex s, or nil.
 // It uses the paper's block-based detector. For repeated queries use
 // Engine.FindCycle, which pools the detector state.
-func FindCycle(g *Graph, k int, s VID) []VID {
+func FindCycle(g Storage, k int, s VID) []VID {
 	return cycle.NewBlockDetector(g, k, cycle.DefaultMinLen, nil).FindFrom(s)
 }
 
@@ -347,7 +399,7 @@ func FindCycle(g *Graph, k int, s VID) []VID {
 // to 512 sources per sweep, the lane width picked from the graph size) and
 // falls through to the paper's block-based detector only for the
 // survivors. For repeated queries use Engine.HasHopConstrainedCycle.
-func HasHopConstrainedCycle(g *Graph, k int) bool {
+func HasHopConstrainedCycle(g Storage, k int) bool {
 	sc := cycle.NewScratch(g.NumVertices()) // detector + filter share one scratch
 	det := cycle.NewBlockDetectorWith(g, k, cycle.DefaultMinLen, nil, sc)
 	filter := cycle.NewBatchBFSFilterWith(g, k, nil, sc)
@@ -360,6 +412,6 @@ func HasHopConstrainedCycle(g *Graph, k int) bool {
 // EnumerateCycles lists every cycle of length in [3, k], each once, calling
 // fn until it returns false. Intended for small graphs or tight k: the
 // number of cycles can be exponential.
-func EnumerateCycles(g *Graph, k int, fn func(c []VID) bool) {
+func EnumerateCycles(g Storage, k int, fn func(c []VID) bool) {
 	cycle.NewEnumerator(g, k, cycle.DefaultMinLen, nil).Visit(fn)
 }
